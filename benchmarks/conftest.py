@@ -1,0 +1,18 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures (quick
+scale), prints the rendered artifact, and asserts the headline *shape* the
+paper reports.  ``pytest benchmarks/ --benchmark-only`` runs them all.
+"""
+
+import pytest
+
+
+def run_and_render(benchmark, run_fn, *args, **kwargs):
+    """Run an experiment once under pytest-benchmark and print its artifact."""
+    result = benchmark.pedantic(
+        run_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    return result

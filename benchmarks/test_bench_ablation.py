@@ -1,0 +1,19 @@
+"""Benchmark for the design-choice ablations (DESIGN.md Section 4)."""
+
+from repro.experiments import ablation
+
+from .conftest import run_and_render
+
+
+def test_bench_ablation(benchmark):
+    result = run_and_render(benchmark, ablation.run)
+    by_variant = {row[0]: row for row in result.rows}
+    full = by_variant["full Hermes"]
+    # Atomic migration is what keeps the coverage gap at zero.
+    assert full[6] == 0
+    assert by_variant["non-atomic migration"][6] > 0
+    # The migration optimizer reduces what gets written to the main table.
+    assert by_variant["no migration optimizer"][5] > full[5]
+    assert by_variant["no migration optimizer"][7] > full[7]
+    # The simple threshold trigger violates more than predictive Hermes.
+    assert by_variant["threshold trigger (50%)"][3] >= full[3]

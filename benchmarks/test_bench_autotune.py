@@ -1,0 +1,22 @@
+"""Benchmark for the online slack auto-tuner (Section 8.6 future work)."""
+
+from repro.experiments import autotune_exp
+
+from .conftest import run_and_render
+
+
+def test_bench_autotune(benchmark):
+    result = run_and_render(benchmark, autotune_exp.run)
+    by_config = {row[0]: row for row in result.rows}
+    tuned = by_config["auto-tuned (start 40%)"]
+    fixed_zero = by_config["fixed slack 0%"]
+    fixed_full = by_config["fixed slack 100%"]
+    # The tuner raises its slack under pressure...
+    assert tuned[4] > 0.4
+    assert tuned[5] >= 1  # at least one adjustment happened
+    # ...and ends no worse than the under-provisioned fixed config on both
+    # violations and mean latency.
+    assert tuned[3] <= fixed_zero[3]
+    assert tuned[1] <= fixed_zero[1] * 1.05
+    # The hand-tuned configuration remains the latency reference point.
+    assert fixed_full[1] <= tuned[1]

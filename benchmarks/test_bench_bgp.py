@@ -1,0 +1,21 @@
+"""Benchmark regenerating the Sections 2.3 / 8.4 BGP results."""
+
+from repro.experiments import bgp_section
+
+from .conftest import run_and_render
+
+
+def test_bench_bgp(benchmark):
+    result = run_and_render(benchmark, bgp_section.run)
+    for row in result.rows:
+        (_router, updates, fib_actions, median_rate, max_rate,
+         raw_p50, raw_p99, hermes_p50, hermes_p99) = row
+        # RIB suppression: not every BGP update reaches the FIB.
+        assert fib_actions < updates
+        # The Section 2.3 shape: bursty tails well above the median rate.
+        assert max_rate > 4 * median_rate
+        # Hermes bounds installation latency through the bursts.
+        assert hermes_p50 < raw_p50
+        assert hermes_p99 < raw_p99
+    # At least one vantage point shows the >1000 updates/s tail.
+    assert max(row[4] for row in result.rows) > 1000

@@ -1,0 +1,17 @@
+"""Benchmark for the failure-recovery extension experiment."""
+
+from repro.experiments import failover
+
+from .conftest import run_and_render
+
+
+def test_bench_failover(benchmark):
+    result = run_and_render(benchmark, failover.run)
+    blackhole = {row[0]: row[1] for row in result.rows}
+    # Zero-latency control is the lower bound.
+    assert blackhole["zero-latency"] <= min(blackhole.values()) + 1e-9
+    # Hermes repairs close to that bound; the raw switch pays for every
+    # repair rule at occupancy-driven TCAM latency.
+    assert blackhole["Hermes"] < 0.2 * blackhole["raw switch"]
+    # Repairs actually happened everywhere.
+    assert all(row[3] > 0 for row in result.rows)

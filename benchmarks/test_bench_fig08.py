@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 8 (rule installation time CDFs)."""
+
+from repro.experiments import fig08_rit
+
+from .conftest import run_and_render
+
+
+def test_bench_fig08(benchmark):
+    result = run_and_render(benchmark, fig08_rit.run)
+    medians = {(row[0], row[1]): row[3] for row in result.rows}
+    for workload in ("facebook", "geant"):
+        hermes = medians[(workload, "Hermes")]
+        for scheme in ("Dell 8132F", "HP 5406zl", "Pica8 P-3290"):
+            raw = medians[(workload, scheme)]
+            # The paper reports 80-94% median RIT improvement.
+            assert (raw - hermes) / raw > 0.8, (workload, scheme)

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 9 (flow completion time CDFs)."""
+
+from repro.experiments import fig09_fct
+
+from .conftest import run_and_render
+
+
+def test_bench_fig09(benchmark):
+    result = run_and_render(benchmark, fig09_fct.run)
+    medians = {(row[0], row[1]): row[3] for row in result.rows}
+    # The short-flow panel is where control latency shows: Hermes's median
+    # beats every raw switch there; the all-flows panel converges (transfer
+    # time dominates), so Hermes only needs to stay within noise of it.
+    for scheme in ("Dell 8132F", "HP 5406zl", "Pica8 P-3290"):
+        assert medians[("facebook/short", "Hermes")] <= medians[
+            ("facebook/short", scheme)
+        ] * 1.02, scheme
+        assert medians[("facebook/all", "Hermes")] <= medians[
+            ("facebook/all", scheme)
+        ] * 1.10, scheme

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 10 (Hermes vs. Tango vs. ESPRES)."""
+
+from repro.experiments import fig10_related
+
+from .conftest import run_and_render
+
+
+def test_bench_fig10(benchmark):
+    result = run_and_render(benchmark, fig10_related.run)
+    medians = {(row[0], row[1]): row[3] for row in result.rows}
+    for stream in ("facebook", "geant"):
+        hermes = medians[(stream, "Hermes")]
+        # The paper: Hermes outperforms both by more than 50% at the median.
+        assert hermes < 0.5 * medians[(stream, "Tango")], stream
+        assert hermes < 0.5 * medians[(stream, "ESPRES")], stream
+    # Tango's aggregation only helps on the structured (facebook) stream.
+    assert medians[("facebook", "Tango")] < medians[("facebook", "ESPRES")]

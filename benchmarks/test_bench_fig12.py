@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 12 (Hermes-SIMPLE threshold sweep)."""
+
+from repro.experiments import fig12_simple
+
+from .conftest import run_and_render
+
+
+def test_bench_fig12(benchmark):
+    result = run_and_render(benchmark, fig12_simple.run)
+    by_key = {(row[0], row[1]): row for row in result.rows}
+    for switch in {row[0] for row in result.rows}:
+        zero = by_key[(switch, 0)]
+        hundred = by_key[(switch, 100)]
+        # Threshold 0%: (near-)zero violations but the most migrations.
+        assert zero[2] <= 1.0, switch
+        assert zero[3] >= hundred[3], switch
+        # Violations grow as the threshold loosens.
+        assert hundred[2] >= zero[2], switch
+        # Constant migration at threshold 0 costs more migrations than
+        # regular (predictive) Hermes.
+        assert zero[3] >= zero[5], switch

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 13 (insertion latency vs. slack factor)."""
+
+from repro.experiments import fig13_slack
+
+from .conftest import run_and_render
+
+
+def test_bench_fig13(benchmark):
+    result = run_and_render(benchmark, fig13_slack.run)
+    mean_of = {(row[0], row[1], row[2]): row[3] for row in result.rows}
+    # 1000 updates/s at full overlap: 100% slack beats 0% slack clearly.
+    assert mean_of[(1000, 100, 100)] < mean_of[(1000, 100, 0)] * 0.6
+    # 200 updates/s: slack barely matters (low rate is easy).
+    assert mean_of[(200, 0, 100)] <= mean_of[(200, 0, 0)] * 1.2
+    # Higher update rates hurt at low slack.
+    assert mean_of[(1000, 100, 0)] > mean_of[(200, 100, 0)]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 14 (ASIC overhead vs. guarantee)."""
+
+from repro.experiments import fig14_overhead
+
+from .conftest import run_and_render
+
+
+def test_bench_fig14(benchmark):
+    result = run_and_render(benchmark, fig14_overhead.run)
+    overhead = {(row[0], row[1]): row[4] for row in result.rows}
+    for switch in {row[0] for row in result.rows}:
+        # Overhead is monotone in the guarantee (bigger budget, bigger shadow).
+        assert overhead[(switch, 1.0)] <= overhead[(switch, 5.0)] <= overhead[
+            (switch, 10.0)
+        ]
+    # The abstract's headline: <5% overhead for the 5 ms guarantee (Pica8).
+    assert overhead[("Pica8 P-3290", 5.0)] < 5.0

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 15 (algorithm runtimes vs. rule count)."""
+
+from repro.experiments import fig15_cpu
+
+from .conftest import run_and_render
+
+
+def test_bench_fig15(benchmark):
+    config = fig15_cpu.Fig15Config(rule_counts=(100, 500, 1000, 2000))
+    result = run_and_render(benchmark, fig15_cpu.run, config)
+    counts = result.column("rules")
+    insertion = result.column("insertion algorithm (ms/rule)")
+    migration = result.column("migration (ms total)")
+    memory = result.column("peak memory (MiB)")
+    scale = counts[-1] / counts[0]
+    # Insertion is near-flat; migration grows super-linearly.
+    assert insertion[-1] < insertion[0] * 5
+    assert migration[-1] > migration[0] * scale
+    # Memory grows roughly linearly with the rules moved.
+    assert memory[-1] > memory[0]

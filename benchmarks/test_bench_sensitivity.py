@@ -1,0 +1,16 @@
+"""Benchmark regenerating the Section 8.6 predictor/corrector comparison."""
+
+from repro.experiments import sensitivity
+
+from .conftest import run_and_render
+
+
+def test_bench_sensitivity(benchmark):
+    result = run_and_render(benchmark, sensitivity.run)
+    means = {(row[0], row[1]): row[2] for row in result.rows}
+    best = min(means, key=means.get)
+    # The paper's finding: Cubic Spline + Slack is the most effective pair.
+    assert best == ("cubic-spline", "slack")
+    # And it wins by a wide margin over the alternatives (paper: 80-94%).
+    others = [value for key, value in means.items() if key != best]
+    assert means[best] < 0.7 * min(others)

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 1 (update rate vs. occupancy)."""
+
+from repro.experiments import table1
+
+from .conftest import run_and_render
+
+
+def test_bench_table1(benchmark):
+    result = run_and_render(benchmark, table1.run)
+    ratios = result.column("ratio")
+    # The table-model calibration must reproduce the published rates.
+    assert all(0.95 <= ratio <= 1.05 for ratio in ratios)
+    # The occupancy cliff: Dell at 500 is >10x slower than at 250.
+    by_key = {
+        (row[0], row[1]): row[3] for row in result.rows
+    }
+    assert by_key[("Dell 8132F", 250)] / by_key[("Dell 8132F", 500)] > 10

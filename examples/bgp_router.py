@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Hermes under a traditional BGP control plane (Sections 2.3 / 8.4).
+
+A synthetic BGPStream-style update feed (low background churn plus
+path-hunting bursts above 1000 updates/s) runs through a RIB with the
+standard best-path decision process; only the best-path changes that
+actually alter the FIB reach the TCAM.  The resulting FlowMod stream is
+replayed against a raw Pica8 and against Hermes with a 5 ms guarantee.
+
+Run: ``python examples/bgp_router.py``
+"""
+
+import numpy as np
+
+from repro import GuaranteeSpec, HermesConfig
+from repro.bgp import BgpRouter, generate_updates, get_router_profile, update_rate_series
+from repro.experiments.common import replay_trace
+from repro.traffic import TimedFlowMod
+
+
+def main() -> None:
+    profile = get_router_profile("equinix-chicago")
+    updates = generate_updates(profile, duration=60.0, rng=np.random.default_rng(7))
+    rates = [rate for _, rate in update_rate_series(updates)]
+    print(
+        f"Vantage point {profile.name}: {len(updates)} BGP updates over 60 s\n"
+        f"  update rate: median {np.median(rates):.0f}/s, "
+        f"p99 {np.percentile(rates, 99):.0f}/s, max {max(rates):.0f}/s"
+    )
+
+    router = BgpRouter()
+    trace = []
+    for update in updates:
+        for flow_mod in router.process(update):
+            trace.append(TimedFlowMod(time=update.time, flow_mod=flow_mod))
+    stats = router.fib.stats
+    print(
+        f"  RIB -> FIB: {stats.fib_actions} TCAM actions "
+        f"({stats.adds} adds / {stats.modifies} modifies / {stats.deletes} "
+        f"deletes), {stats.suppressed} updates absorbed by the RIB\n"
+    )
+
+    raw = replay_trace(trace, "naive", "pica8-p3290")
+    hermes = replay_trace(
+        trace,
+        "hermes",
+        "pica8-p3290",
+        hermes_config=HermesConfig(
+            guarantee=GuaranteeSpec.milliseconds(5), slack=1.0, admission_control=False
+        ),
+    )
+    for label, outcome in (("Raw Pica8 P-3290", raw), ("Hermes (5 ms)", hermes)):
+        times = np.asarray(outcome.response_times)
+        print(
+            f"{label}: median {np.median(times) * 1e3:7.3f} ms, "
+            f"p99 {np.percentile(times, 99) * 1e3:8.3f} ms, "
+            f"max {times.max() * 1e3:8.3f} ms"
+        )
+    print(
+        "\nThe burst windows are where the raw switch falls over; Hermes's "
+        "shadow table keeps every insertion bounded through them."
+    )
+
+
+if __name__ == "__main__":
+    main()

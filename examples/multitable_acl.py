@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Multi-table switches with per-table guarantees (Section 6).
+
+Modern pipelines split functionality across logical TCAM tables — here an
+ACL table in front of a forwarding table.  Hermes carves each independently,
+so the operator can buy a *tight* bound for the security-critical ACL table
+(rules must take effect fast) and a looser one for forwarding, while the
+pipeline keeps its original miss semantics.
+
+Also demonstrates the composable match predicates: only the tenant's
+high-priority rules get the forwarding guarantee.
+
+Run: ``python examples/multitable_acl.py``
+"""
+
+from repro.core import (
+    GuaranteeSpec,
+    LogicalTableSpec,
+    MultiTableHermes,
+    priority_band,
+    within_prefix,
+)
+from repro.switchsim import FlowMod, MissBehavior
+from repro.tcam import Action, Prefix, Rule, pica8_p3290
+
+
+def key(address: str) -> int:
+    return Prefix.from_string(address).network
+
+
+def main() -> None:
+    tenant_rules = within_prefix("10.0.0.0/8") & priority_band(100, 999)
+    switch = MultiTableHermes(
+        pica8_p3290,
+        [
+            LogicalTableSpec(
+                name="acl",
+                guarantee=GuaranteeSpec.milliseconds(1),
+                on_miss=MissBehavior.GOTO_NEXT,
+            ),
+            LogicalTableSpec(
+                name="forwarding",
+                guarantee=GuaranteeSpec.milliseconds(10),
+                on_miss=MissBehavior.DROP,
+                predicate=tenant_rules,
+            ),
+        ],
+    )
+    print("Per-table guarantees:", {
+        name: (f"{value * 1e3:.0f} ms" if value else "best-effort")
+        for name, value in switch.guarantees().items()
+    })
+    for name in switch.table_names():
+        table = switch.table(name)
+        print(
+            f"  {name}: shadow {table.shadow.capacity} entries "
+            f"({100 * table.shadow.capacity / table.timing.capacity:.1f}% of TCAM)"
+        )
+
+    # A security block lands in the ACL table within 1 ms.
+    block = Rule.from_prefix("198.51.100.0/24", 500, Action.drop())
+    result = switch.apply("acl", FlowMod.add(block))
+    print(
+        f"\nACL block installed in {result.latency * 1e3:.3f} ms "
+        f"(bound 1 ms, guaranteed path: {result.used_guaranteed_path})"
+    )
+
+    # Tenant forwarding rules get the 10 ms guarantee; others are best effort.
+    tenant = Rule.from_prefix("10.1.0.0/16", 200, Action.output(4))
+    other = Rule.from_prefix("192.0.2.0/24", 200, Action.output(7))
+    tenant_result = switch.apply("forwarding", FlowMod.add(tenant))
+    other_result = switch.apply("forwarding", FlowMod.add(other))
+    print(
+        f"tenant rule: guaranteed={tenant_result.used_guaranteed_path}, "
+        f"other rule: guaranteed={other_result.used_guaranteed_path}"
+    )
+
+    # Pipeline semantics: ACL hit drops, ACL miss falls through, forwarding
+    # miss keeps the original drop behaviour.
+    verdict_blocked = switch.process(key("198.51.100.7"))
+    verdict_tenant = switch.process(key("10.1.2.3"))
+    verdict_unknown = switch.process(key("203.0.113.9"))
+    print(
+        f"\nlookups: blocked -> {verdict_blocked.rule.action}, "
+        f"tenant -> {verdict_tenant.rule.action}, "
+        f"unknown -> {'dropped' if verdict_unknown.dropped else 'matched'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

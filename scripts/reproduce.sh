@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate everything: tests, benchmarks, and the paper artifacts.
+#
+# Usage: scripts/reproduce.sh [output-dir]
+#
+# Writes test_output.txt, bench_output.txt, and artifacts.txt into the
+# output directory (default: results/).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-results}"
+mkdir -p "$out"
+
+echo "== 1/3 unit, integration, and property tests =="
+python -m pytest tests/ 2>&1 | tee "$out/test_output.txt" | tail -3
+
+echo "== 2/3 per-table/figure benchmarks =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$out/bench_output.txt" | tail -5
+
+echo "== 3/3 rendered paper artifacts =="
+python -m repro.experiments all | tee "$out/artifacts.txt" | grep "^== "
+
+echo "Done. Outputs in $out/."

@@ -1,0 +1,101 @@
+"""repro — a reproduction of *Hermes: Providing Tight Control over
+High-Performance SDN Switches* (Chen & Benson, CoNEXT 2017).
+
+Hermes gives SDN control-plane actions (TCAM rule insertion / deletion /
+modification) *performance guarantees* by carving a switch's TCAM into a
+small, mostly-empty shadow table that absorbs all guaranteed insertions and
+a large main table that rules predictively migrate into.
+
+Quick start::
+
+    from repro import (
+        HermesService, GuaranteeSpec, pica8_p3290, FlowMod, Rule, Action,
+    )
+
+    service = HermesService()
+    service.register_switch("edge-1", pica8_p3290())
+    handle = service.CreateTCAMQoS("edge-1", GuaranteeSpec.milliseconds(5))
+    hermes = service.installer(handle.shadow_id)
+    result = hermes.apply(
+        FlowMod.add(Rule.from_prefix("10.0.0.0/24", 100, Action.output(1)))
+    )
+    assert result.latency <= 5e-3
+
+Package map — see DESIGN.md for the full inventory:
+
+* :mod:`repro.core` — Hermes itself (Gate Keeper, Rule Manager, Algorithm 1).
+* :mod:`repro.tcam` — the TCAM substrate and empirical switch models.
+* :mod:`repro.switchsim` — FlowMods, installers, pipeline, switch agent.
+* :mod:`repro.baselines` — ESPRES, Tango, ShadowSwitch, naive.
+* :mod:`repro.simulator` — the Varys flow-level network simulator.
+* :mod:`repro.topology` / :mod:`repro.traffic` / :mod:`repro.bgp` — workloads.
+* :mod:`repro.experiments` — one module per table/figure in the paper.
+"""
+
+from .baselines import (
+    EspresInstaller,
+    NaiveInstaller,
+    ShadowSwitchInstaller,
+    TangoInstaller,
+    make_installer,
+)
+from .core import (
+    GuaranteeSpec,
+    HermesConfig,
+    HermesInstaller,
+    HermesService,
+    QoSHandle,
+    asic_overhead,
+    max_insertion_rate,
+    shadow_capacity_for,
+)
+from .switchsim import FlowMod, FlowModCommand, FlowModResult, SwitchAgent
+from .simulator import Simulation, SimulationConfig, TeAppConfig
+from .tcam import (
+    Action,
+    Prefix,
+    Rule,
+    TernaryMatch,
+    commodity_switch_models,
+    dell_8132f,
+    get_switch_model,
+    hp_5406zl,
+    ideal_switch,
+    pica8_p3290,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Action",
+    "EspresInstaller",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowModResult",
+    "GuaranteeSpec",
+    "HermesConfig",
+    "HermesInstaller",
+    "HermesService",
+    "NaiveInstaller",
+    "Prefix",
+    "QoSHandle",
+    "Rule",
+    "ShadowSwitchInstaller",
+    "Simulation",
+    "SimulationConfig",
+    "SwitchAgent",
+    "TangoInstaller",
+    "TeAppConfig",
+    "TernaryMatch",
+    "asic_overhead",
+    "commodity_switch_models",
+    "dell_8132f",
+    "get_switch_model",
+    "hp_5406zl",
+    "ideal_switch",
+    "make_installer",
+    "max_insertion_rate",
+    "pica8_p3290",
+    "shadow_capacity_for",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Analysis helpers: CDFs, percentile summaries, result rendering."""
+
+from .replication import SeedSweep, replicate, replicate_many
+from .stats import (
+    cdf_at,
+    empirical_cdf,
+    increase_ratios,
+    median_improvement,
+    percentile_summary,
+)
+from .tables import ExperimentResult, format_cell, render_table
+
+__all__ = [
+    "ExperimentResult",
+    "SeedSweep",
+    "cdf_at",
+    "empirical_cdf",
+    "format_cell",
+    "increase_ratios",
+    "median_improvement",
+    "percentile_summary",
+    "render_table",
+    "replicate",
+    "replicate_many",
+]

@@ -1,0 +1,89 @@
+"""Multi-seed replication: mean, spread, and confidence intervals.
+
+Single-seed simulation results can mislead; this helper re-runs a
+seed-parameterized experiment across seeds and reports the replication
+statistics the figures should be read with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class SeedSweep:
+    """Replication statistics of one scalar metric across seeds.
+
+    Attributes:
+        values: the per-seed metric values, aligned with ``seeds``.
+        seeds: the seeds used.
+    """
+
+    values: tuple
+    seeds: tuple
+
+    @property
+    def mean(self) -> float:
+        """Sample mean across seeds."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0.0 for a single seed)."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    def confidence_interval(self, level: float = 0.95) -> tuple:
+        """Student-t confidence interval for the mean.
+
+        Returns (low, high); degenerate (mean, mean) for a single seed.
+        """
+        if not 0.0 < level < 1.0:
+            raise ValueError(f"level must be in (0, 1): {level}")
+        if len(self.values) < 2:
+            return (self.mean, self.mean)
+        sem = self.std / np.sqrt(len(self.values))
+        margin = scipy_stats.t.ppf((1 + level) / 2, len(self.values) - 1) * sem
+        return (self.mean - margin, self.mean + margin)
+
+    def __str__(self) -> str:
+        low, high = self.confidence_interval()
+        return (
+            f"{self.mean:.4g} ± {self.std:.2g} "
+            f"(95% CI [{low:.4g}, {high:.4g}], n={len(self.values)})"
+        )
+
+
+def replicate(
+    metric_fn: Callable[[int], float], seeds: Sequence[int]
+) -> SeedSweep:
+    """Evaluate ``metric_fn(seed)`` for every seed.
+
+    Raises:
+        ValueError: when no seeds are given.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = tuple(float(metric_fn(seed)) for seed in seeds)
+    return SeedSweep(values=values, seeds=tuple(seeds))
+
+
+def replicate_many(
+    metrics_fn: Callable[[int], Dict[str, float]], seeds: Sequence[int]
+) -> Dict[str, SeedSweep]:
+    """Like :func:`replicate` for functions returning several metrics."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        for name, value in metrics_fn(seed).items():
+            collected.setdefault(name, []).append(float(value))
+    return {
+        name: SeedSweep(values=tuple(values), seeds=tuple(seeds))
+        for name, values in collected.items()
+    }

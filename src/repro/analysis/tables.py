@@ -1,0 +1,71 @@
+"""Plain-text rendering of experiment outputs.
+
+Every experiment produces an :class:`ExperimentResult` whose ``render()``
+prints the same rows/series the paper's table or figure reports, so a
+benchmark run regenerates the artifact as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+def format_cell(value) -> str:
+    """Human formatting: floats get 4 significant digits, rest str()."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table."""
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[index]) for row in formatted)) if formatted else len(header)
+        for index, header in enumerate(headers)
+    ]
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(line(row) for row in formatted)
+    return "\n".join([line(list(headers)), separator, body]) if formatted else line(list(headers))
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    Attributes:
+        experiment_id: the paper artifact this reproduces (e.g. "Table 1").
+        title: what the artifact shows.
+        headers: column names.
+        rows: data rows (the figure's series, flattened to rows).
+        notes: shape expectations and scale caveats, printed below the table.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Render the artifact as text."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        if self.notes:
+            parts.append(f"\n{self.notes}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List:
+        """Extract one column by header name (for assertions in benches)."""
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]

@@ -1,0 +1,29 @@
+"""BGP substrate: updates, RIB/decision process, FIB compilation, streams."""
+
+from .fib import BgpRouter, Fib, FibStats
+from .messages import BgpRoute, BgpUpdate, BgpUpdateKind
+from .rib import BestPathChange, Rib, preference_key
+from .stream import (
+    ROUTER_PROFILES,
+    RouterProfile,
+    generate_updates,
+    get_router_profile,
+    update_rate_series,
+)
+
+__all__ = [
+    "BestPathChange",
+    "BgpRoute",
+    "BgpRouter",
+    "BgpUpdate",
+    "BgpUpdateKind",
+    "Fib",
+    "FibStats",
+    "ROUTER_PROFILES",
+    "Rib",
+    "RouterProfile",
+    "generate_updates",
+    "get_router_profile",
+    "preference_key",
+    "update_rate_series",
+]

@@ -1,0 +1,85 @@
+"""BGP update messages.
+
+Sections 2.3 and 8.4 of the paper feed BGP updates (captured by BGPStream)
+through a router and measure the resulting FIB churn against the TCAM.  This
+module models the two update kinds that matter — announcements and
+withdrawals — with the attributes the best-path decision process consumes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..tcam.prefix import Prefix
+
+
+class BgpUpdateKind(enum.Enum):
+    """Announcement (new/changed path) or withdrawal (path gone)."""
+
+    ANNOUNCE = "announce"
+    WITHDRAW = "withdraw"
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One path to a prefix, as learned from a peer.
+
+    Attributes:
+        prefix: the destination prefix.
+        peer: identifier of the BGP session the route came from.
+        as_path: the AS-level path (first element is the neighbouring AS).
+        next_hop: IP of the next hop, as a 32-bit integer.
+        local_pref: operator preference (higher wins).
+        med: multi-exit discriminator (lower wins).
+    """
+
+    prefix: Prefix
+    peer: str
+    as_path: Tuple[int, ...]
+    next_hop: int
+    local_pref: int = 100
+    med: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.as_path:
+            raise ValueError("a route needs a non-empty AS path")
+
+
+@dataclass(frozen=True)
+class BgpUpdate:
+    """A timestamped update from one peer.
+
+    ``route`` is required for announcements; withdrawals name only the
+    prefix being pulled.
+    """
+
+    time: float
+    kind: BgpUpdateKind
+    peer: str
+    prefix: Prefix
+    route: Optional[BgpRoute] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is BgpUpdateKind.ANNOUNCE:
+            if self.route is None:
+                raise ValueError("announcements carry a route")
+            if self.route.prefix != self.prefix or self.route.peer != self.peer:
+                raise ValueError("route attributes disagree with the update")
+
+    @classmethod
+    def announce(cls, time: float, route: BgpRoute) -> "BgpUpdate":
+        """Announce ``route``."""
+        return cls(
+            time=time,
+            kind=BgpUpdateKind.ANNOUNCE,
+            peer=route.peer,
+            prefix=route.prefix,
+            route=route,
+        )
+
+    @classmethod
+    def withdraw(cls, time: float, peer: str, prefix: Prefix) -> "BgpUpdate":
+        """Withdraw ``peer``'s route to ``prefix``."""
+        return cls(time=time, kind=BgpUpdateKind.WITHDRAW, peer=peer, prefix=prefix)

@@ -1,0 +1,203 @@
+"""Synthetic BGPStream-style update generators.
+
+The paper replays BGPStream captures from four vantage points — Equinix
+(Chicago), TELXATL (Atlanta), NWAX (Portland), and the University of Oregon
+(Section 8.1.3) — and observes that "traditional control planes generally
+have low update rates except at the tail where updates occur with high
+frequency (over 1000 updates per second)" (Section 2.3).
+
+The generator reproduces exactly that shape: a low-rate Poisson background
+of ordinary churn punctuated by bursts (session resets / path hunting)
+whose instantaneous rate exceeds 1000 updates/second.  Four router profiles
+give the four vantage points distinct base rates, burst frequencies, and
+peer counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..tcam.prefix import Prefix
+from .messages import BgpRoute, BgpUpdate
+
+
+@dataclass(frozen=True)
+class RouterProfile:
+    """Statistical profile of one BGP vantage point.
+
+    Attributes:
+        name: vantage-point label.
+        peers: number of BGP sessions.
+        prefix_pool: distinct prefixes seen in the capture window (kept
+            below commodity TCAM capacities, as a deployed FIB must be).
+        base_rate: background updates/second (Poisson).
+        burst_rate: instantaneous updates/second inside a burst.
+        burst_arrival_rate: bursts per second (Poisson).
+        burst_size_mean: mean updates per burst (geometric).
+        withdraw_fraction: fraction of updates that are withdrawals.
+    """
+
+    name: str
+    peers: int = 8
+    prefix_pool: int = 1536
+    base_rate: float = 20.0
+    burst_rate: float = 2000.0
+    burst_arrival_rate: float = 0.05
+    burst_size_mean: float = 400.0
+    withdraw_fraction: float = 0.15
+
+
+ROUTER_PROFILES: Dict[str, RouterProfile] = {
+    # A large IXP route collector: many peers, heavy churn, big bursts.
+    "equinix-chicago": RouterProfile(
+        name="equinix-chicago",
+        peers=24,
+        prefix_pool=2048,
+        base_rate=40.0,
+        burst_rate=2500.0,
+        burst_arrival_rate=0.08,
+        burst_size_mean=600.0,
+    ),
+    "telxatl": RouterProfile(
+        name="telxatl",
+        peers=16,
+        prefix_pool=1792,
+        base_rate=25.0,
+        burst_rate=1800.0,
+        burst_arrival_rate=0.06,
+        burst_size_mean=450.0,
+    ),
+    "nwax": RouterProfile(
+        name="nwax",
+        peers=8,
+        prefix_pool=1280,
+        base_rate=12.0,
+        burst_rate=1400.0,
+        burst_arrival_rate=0.04,
+        burst_size_mean=300.0,
+    ),
+    # The Oregon route-views collector: few direct peers, long quiet spells.
+    "uoregon": RouterProfile(
+        name="uoregon",
+        peers=6,
+        prefix_pool=1536,
+        base_rate=8.0,
+        burst_rate=1200.0,
+        burst_arrival_rate=0.03,
+        burst_size_mean=350.0,
+    ),
+}
+
+
+def get_router_profile(name: str) -> RouterProfile:
+    """Look up one of the four vantage-point profiles."""
+    try:
+        return ROUTER_PROFILES[name.strip().lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown router {name!r}; known: {', '.join(sorted(ROUTER_PROFILES))}"
+        ) from None
+
+
+def _prefix_pool(profile: RouterProfile) -> List[Prefix]:
+    """A deterministic pool of globally-routable-looking prefixes.
+
+    Mixes /24s, /22s, /20s and /16s in roughly the proportions of the
+    global table (dominated by /24s).
+    """
+    pool: List[Prefix] = []
+    for index in range(profile.prefix_pool):
+        draw = index % 10
+        if draw < 6:
+            length = 24
+        elif draw < 8:
+            length = 22
+        elif draw < 9:
+            length = 20
+        else:
+            length = 16
+        # Spread over 1.0.0.0 - 223.x: unicast space.
+        first = 1 + (index * 7) % 223
+        second = (index * 131) % 256
+        third = (index * 17) % 256
+        network = (first << 24) | (second << 16) | (third << 8)
+        mask = ((1 << length) - 1) << (32 - length)
+        pool.append(Prefix(network & mask, length))
+    return pool
+
+
+def generate_updates(
+    profile: RouterProfile,
+    duration: float,
+    rng: Optional[np.random.Generator] = None,
+) -> List[BgpUpdate]:
+    """Generate a timestamped update stream for one vantage point.
+
+    Returns updates sorted by time.  Instantaneous rates follow the
+    background Poisson process except inside bursts, which inject
+    ``burst_size`` updates at ``burst_rate``.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive: {duration}")
+    generator = rng if rng is not None else np.random.default_rng(11)
+    pool = _prefix_pool(profile)
+    peers = [f"{profile.name}-peer{index}" for index in range(profile.peers)]
+    updates: List[BgpUpdate] = []
+
+    def make_update(time: float) -> BgpUpdate:
+        prefix = pool[int(generator.integers(0, len(pool)))]
+        peer = peers[int(generator.integers(0, len(peers)))]
+        if generator.random() < profile.withdraw_fraction:
+            return BgpUpdate.withdraw(time, peer, prefix)
+        path_length = int(generator.integers(2, 7))
+        as_path = tuple(
+            int(generator.integers(1000, 65000)) for _ in range(path_length)
+        )
+        route = BgpRoute(
+            prefix=prefix,
+            peer=peer,
+            as_path=as_path,
+            next_hop=int(generator.integers(1, 1 << 32)),
+        )
+        return BgpUpdate.announce(time, route)
+
+    # Background churn.
+    time = float(generator.exponential(1.0 / profile.base_rate))
+    while time < duration:
+        updates.append(make_update(time))
+        time += float(generator.exponential(1.0 / profile.base_rate))
+    # Bursts (session resets / path hunting).
+    burst_time = float(generator.exponential(1.0 / profile.burst_arrival_rate))
+    while burst_time < duration:
+        burst_size = 1 + int(generator.geometric(1.0 / profile.burst_size_mean))
+        cursor = burst_time
+        for _ in range(burst_size):
+            if cursor >= duration:
+                break
+            updates.append(make_update(cursor))
+            cursor += float(generator.exponential(1.0 / profile.burst_rate))
+        burst_time += float(generator.exponential(1.0 / profile.burst_arrival_rate))
+    updates.sort(key=lambda update: update.time)
+    return updates
+
+
+def update_rate_series(
+    updates: List[BgpUpdate], bin_seconds: float = 1.0
+) -> List[Tuple[float, float]]:
+    """Per-bin update rates — the Section 2.3 rate CDF is built from this."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if not updates:
+        return []
+    horizon = updates[-1].time
+    bins = int(horizon / bin_seconds) + 1
+    counts = [0] * bins
+    for update in updates:
+        counts[int(update.time / bin_seconds)] += 1
+    return [
+        (index * bin_seconds, count / bin_seconds)
+        for index, count in enumerate(counts)
+    ]

@@ -1,0 +1,120 @@
+"""Hermes core: the paper's primary contribution.
+
+Gate Keeper + Rule Manager + Algorithm 1 partitioning + predictive
+migration, exposed as a drop-in :class:`~repro.switchsim.installer.RuleInstaller`
+and through the paper's operator API (:class:`HermesService`).
+"""
+
+from .api import HermesService, QoSHandle
+from .autotune import AutoTuneConfig, SlackAutoTuner
+from .correction import (
+    CORRECTOR_NAMES,
+    Corrector,
+    DeadzoneCorrector,
+    NoCorrection,
+    SlackCorrector,
+    make_corrector,
+)
+from .gatekeeper import (
+    GateDecision,
+    GateKeeper,
+    MatchPredicate,
+    TokenBucket,
+    match_all,
+    priority_at_least,
+)
+from .guarantees import (
+    GuaranteeSpec,
+    asic_overhead,
+    estimate_migration_time,
+    max_insertion_rate,
+    shadow_capacity_for,
+)
+from .hermes import HermesConfig, HermesInstaller
+from .multitable import LogicalTableSpec, MultiTableHermes
+from .partition import (
+    PartitionMap,
+    PartitionOutcome,
+    detect_overlaps,
+    eliminate_overlap,
+    merge_matches,
+    partition_new_rule,
+)
+from .predicates import (
+    Predicate,
+    action_kind,
+    everything,
+    nothing,
+    output_port_in,
+    overlapping_prefix,
+    priority_band,
+    within_prefix,
+)
+from .prediction import (
+    PREDICTOR_NAMES,
+    ArmaPredictor,
+    CubicSplinePredictor,
+    EwmaPredictor,
+    Predictor,
+    make_predictor,
+)
+from .rule_manager import (
+    MigrationReport,
+    MigrationTrigger,
+    PredictiveTrigger,
+    RuleManager,
+    ThresholdTrigger,
+)
+
+__all__ = [
+    "ArmaPredictor",
+    "AutoTuneConfig",
+    "CORRECTOR_NAMES",
+    "Corrector",
+    "CubicSplinePredictor",
+    "DeadzoneCorrector",
+    "EwmaPredictor",
+    "GateDecision",
+    "GateKeeper",
+    "GuaranteeSpec",
+    "HermesConfig",
+    "HermesInstaller",
+    "HermesService",
+    "LogicalTableSpec",
+    "MatchPredicate",
+    "MigrationReport",
+    "MigrationTrigger",
+    "MultiTableHermes",
+    "NoCorrection",
+    "PREDICTOR_NAMES",
+    "PartitionMap",
+    "PartitionOutcome",
+    "Predicate",
+    "PredictiveTrigger",
+    "Predictor",
+    "QoSHandle",
+    "RuleManager",
+    "SlackAutoTuner",
+    "SlackCorrector",
+    "ThresholdTrigger",
+    "TokenBucket",
+    "action_kind",
+    "asic_overhead",
+    "detect_overlaps",
+    "eliminate_overlap",
+    "estimate_migration_time",
+    "everything",
+    "make_corrector",
+    "make_predictor",
+    "match_all",
+    "nothing",
+    "output_port_in",
+    "overlapping_prefix",
+    "max_insertion_rate",
+    "merge_matches",
+    "partition_new_rule",
+    "priority_at_least",
+    "priority_band",
+    "shadow_capacity_for",
+    "within_prefix",
+]

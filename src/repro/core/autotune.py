@@ -1,0 +1,113 @@
+"""Online slack auto-tuning (the Section 8.6 future-work item).
+
+"As part of future work, we will explore learning techniques to enable
+Hermes to automatically tune itself."  Figure 13 shows why: the right
+slack depends on the arrival rate and the overlap rate, which operators
+rarely know in advance.
+
+:class:`SlackAutoTuner` is an AIMD controller over the Slack corrector's
+inflation factor, driven by two signals Hermes already produces:
+
+* a *pressure* event — a guarantee violation or a shadow-full diversion —
+  means the forecasts under-shot: slack increases additively (fast);
+* a sustained run of clean windows means slack may be wasting migrations:
+  slack decays multiplicatively (slow).
+
+The controller is deliberately conservative in the downward direction:
+under-provisioned slack breaks guarantees, over-provisioned slack only
+costs extra migrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .correction import SlackCorrector
+
+
+@dataclass
+class AutoTuneConfig:
+    """AIMD parameters for the slack controller.
+
+    Attributes:
+        initial_slack: starting inflation factor.
+        min_slack / max_slack: clamp range.
+        increase_step: additive bump applied on a pressure event.
+        decay_factor: multiplicative shrink applied after a clean streak.
+        clean_windows_before_decay: consecutive pressure-free windows
+            required before any decay.
+    """
+
+    initial_slack: float = 0.4
+    min_slack: float = 0.0
+    max_slack: float = 3.0
+    increase_step: float = 0.25
+    decay_factor: float = 0.95
+    clean_windows_before_decay: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_slack <= self.initial_slack <= self.max_slack:
+            raise ValueError(
+                "need min_slack <= initial_slack <= max_slack, got "
+                f"{self.min_slack} / {self.initial_slack} / {self.max_slack}"
+            )
+        if self.increase_step <= 0:
+            raise ValueError("increase_step must be positive")
+        if not 0.0 < self.decay_factor < 1.0:
+            raise ValueError("decay_factor must be in (0, 1)")
+        if self.clean_windows_before_decay < 1:
+            raise ValueError("clean_windows_before_decay must be >= 1")
+
+
+class SlackAutoTuner:
+    """AIMD controller mutating a :class:`SlackCorrector` in place."""
+
+    def __init__(
+        self,
+        corrector: SlackCorrector,
+        config: AutoTuneConfig = AutoTuneConfig(),
+    ) -> None:
+        self.corrector = corrector
+        self.config = config
+        self.corrector.slack = config.initial_slack
+        self._clean_streak = 0
+        self.adjustments: List[float] = [config.initial_slack]
+
+    @property
+    def slack(self) -> float:
+        """The current inflation factor."""
+        return self.corrector.slack
+
+    def observe_window(self, pressure_events: int) -> float:
+        """Fold one observation window into the controller.
+
+        Args:
+            pressure_events: violations plus shadow-full diversions seen
+                since the previous window.
+
+        Returns:
+            The (possibly adjusted) slack now in force.
+        """
+        if pressure_events < 0:
+            raise ValueError("pressure_events cannot be negative")
+        if pressure_events > 0:
+            self._clean_streak = 0
+            new_slack = min(
+                self.config.max_slack,
+                self.corrector.slack + self.config.increase_step * pressure_events,
+            )
+        else:
+            self._clean_streak += 1
+            if self._clean_streak >= self.config.clean_windows_before_decay:
+                self._clean_streak = 0
+                new_slack = max(
+                    self.config.min_slack,
+                    self.corrector.slack * self.config.decay_factor,
+                )
+            else:
+                new_slack = self.corrector.slack
+        if new_slack != self.corrector.slack:
+            self.corrector.slack = new_slack
+            self.adjustments.append(new_slack)
+        return self.corrector.slack

@@ -1,0 +1,182 @@
+"""The Gate Keeper: admission control and insertion-path selection.
+
+The Gate Keeper (Section 3) sits on the switch's control path.  For every
+FlowMod it decides whether the rule gets the guaranteed (shadow-table) path
+or the best-effort (main-table) path:
+
+* a *match predicate* selects which rules the operator bought guarantees for;
+* a *token bucket* enforces the agreed insertion rate — actions arriving
+  faster than the rate Hermes committed to (Equation 2) overflow to the main
+  table rather than violating guarantees for admitted rules;
+* the *lowest-priority fast path* (Section 4.2) sends rules that would land
+  at the very bottom of the main table straight there: such inserts shift
+  nothing (they are cheap anyway) and they are exactly the rules that would
+  fragment the most.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..tcam.rule import Rule
+
+
+class TokenBucket:
+    """A standard token bucket over continuous simulation time.
+
+    Tokens accrue at ``rate`` per second up to ``burst``; each admitted
+    action spends one token.  ``math.inf`` rates disable throttling.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        """Create a full bucket.
+
+        Args:
+            rate: token refill rate per second (must be positive; may be inf).
+            burst: bucket depth (must be >= 1).
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last_refill = 0.0
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (as of the last refill)."""
+        return self._tokens
+
+    def _refill(self, now: float) -> None:
+        if now > self._last_refill:
+            if math.isinf(self.rate):
+                self._tokens = self.burst
+            else:
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._last_refill) * self.rate
+                )
+            self._last_refill = now
+
+    def try_consume(self, now: float, amount: float = 1.0) -> bool:
+        """Spend ``amount`` tokens at time ``now``; False when insufficient."""
+        self._refill(now)
+        if self._tokens + 1e-12 >= amount:
+            self._tokens -= amount
+            return False if amount < 0 else True
+        return False
+
+
+MatchPredicate = Callable[[Rule], bool]
+
+
+def match_all(_rule: Rule) -> bool:
+    """The default predicate: every rule gets the guarantee."""
+    return True
+
+
+def priority_at_least(threshold: int) -> MatchPredicate:
+    """Guarantee only rules with priority >= ``threshold``."""
+
+    def predicate(rule: Rule) -> bool:
+        return rule.priority >= threshold
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """Where an insertion goes, and why.
+
+    Attributes:
+        use_shadow: True for the guaranteed path.
+        reason: one of ``"guaranteed"``, ``"predicate-miss"``,
+            ``"rate-limited"``, ``"lowest-priority-fastpath"``,
+            ``"shadow-full"``.
+    """
+
+    use_shadow: bool
+    reason: str
+
+
+class GateKeeper:
+    """Routes insertions between the shadow and main tables."""
+
+    def __init__(
+        self,
+        predicate: MatchPredicate = match_all,
+        bucket: Optional[TokenBucket] = None,
+        lowest_priority_fastpath: bool = True,
+    ) -> None:
+        """Configure the gate.
+
+        Args:
+            predicate: selects the rules entitled to guarantees.
+            bucket: admission-control token bucket; None disables rate
+                limiting (every predicate-matching rule is admitted).
+            lowest_priority_fastpath: enable the Section 4.2 optimization.
+        """
+        self.predicate = predicate
+        self.bucket = bucket
+        self.lowest_priority_fastpath = lowest_priority_fastpath
+        self.admitted = 0
+        self.diverted = 0
+        self.reason_counts: dict = {}
+
+    def decide(
+        self,
+        rule: Rule,
+        now: float,
+        *,
+        shadow_has_room: bool,
+        main_lowest_priority: Optional[int],
+    ) -> GateDecision:
+        """Decide the insertion path for one rule.
+
+        Args:
+            rule: the incoming rule.
+            now: simulation time (drives the token bucket).
+            shadow_has_room: False when the shadow table is at capacity.
+            main_lowest_priority: the smallest priority currently in the
+                main table, or None when the main table is empty.
+
+        Returns:
+            The routing decision, with the dominating reason.
+        """
+        decision = self._decide(rule, now, shadow_has_room, main_lowest_priority)
+        if decision.use_shadow:
+            self.admitted += 1
+        else:
+            self.diverted += 1
+        self.reason_counts[decision.reason] = (
+            self.reason_counts.get(decision.reason, 0) + 1
+        )
+        return decision
+
+    def _decide(
+        self,
+        rule: Rule,
+        now: float,
+        shadow_has_room: bool,
+        main_lowest_priority: Optional[int],
+    ) -> GateDecision:
+        if not self.predicate(rule):
+            return GateDecision(use_shadow=False, reason="predicate-miss")
+        if (
+            self.lowest_priority_fastpath
+            and main_lowest_priority is not None
+            and rule.priority <= main_lowest_priority
+        ):
+            # Appending at the bottom of the main table shifts nothing, so
+            # it is cheap there — and bottom rules fragment the most if
+            # partitioned (e.g. a lowest-priority 0.0.0.0/0 overlaps
+            # everything).
+            return GateDecision(use_shadow=False, reason="lowest-priority-fastpath")
+        if not shadow_has_room:
+            return GateDecision(use_shadow=False, reason="shadow-full")
+        if self.bucket is not None and not self.bucket.try_consume(now):
+            return GateDecision(use_shadow=False, reason="rate-limited")
+        return GateDecision(use_shadow=True, reason="guaranteed")

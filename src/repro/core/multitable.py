@@ -1,0 +1,172 @@
+"""Multi-table switches (Section 6 of the paper).
+
+Modern switches expose a pipeline of logical TCAM tables.  Hermes handles
+this "by independently carving each TCAM table to support a shadow and a
+main table", allowing *different guarantees for different tables* (e.g. a
+tight bound on the ACL table, best-effort on the forwarding table).  To
+preserve the original pipeline's semantics, each *main* table keeps the
+original table's miss behaviour (goto-next / to-controller / drop) while
+every shadow keeps "goto the next table (the main table)".
+
+:class:`MultiTableHermes` realizes exactly that: an ordered set of logical
+tables, each backed by its own :class:`~repro.core.hermes.HermesInstaller`
+(or a plain :class:`~repro.switchsim.installer.DirectInstaller` for tables
+without guarantees), composed into one lookup pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..switchsim.installer import DirectInstaller, RuleInstaller
+from ..switchsim.messages import FlowMod, FlowModResult
+from ..switchsim.pipeline import MissBehavior, Pipeline, PipelineStage, PipelineVerdict
+from ..tcam.rule import Rule
+from .gatekeeper import MatchPredicate, match_all
+from .guarantees import GuaranteeSpec
+from .hermes import HermesConfig, HermesInstaller
+
+
+@dataclass(frozen=True)
+class LogicalTableSpec:
+    """One logical table of the pipeline.
+
+    Attributes:
+        name: the table's pipeline name (e.g. ``"acl"``, ``"forwarding"``).
+        guarantee: per-table insertion bound; ``None`` leaves the table
+            unmanaged (a plain monolithic table, no Hermes carving).
+        on_miss: the original table's miss behaviour, preserved by the
+            main slice.
+        predicate: which rules of this table get the guarantee.
+        config: optional full Hermes config; its guarantee field is
+            overridden by ``guarantee``.
+    """
+
+    name: str
+    guarantee: Optional[GuaranteeSpec] = None
+    on_miss: MissBehavior = MissBehavior.GOTO_NEXT
+    predicate: MatchPredicate = match_all
+    config: Optional[HermesConfig] = None
+
+
+class MultiTableHermes:
+    """Hermes across a pipeline of logical TCAM tables.
+
+    Each logical table owns a physical TCAM (its own timing model
+    instance); guaranteed tables are carved into shadow+main by a private
+    :class:`HermesInstaller`.  FlowMods address a table by name; lookups
+    traverse the pipeline in order with per-table miss behaviour.
+    """
+
+    def __init__(
+        self,
+        timing_factory,
+        tables: Sequence[LogicalTableSpec],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Build the pipeline.
+
+        Args:
+            timing_factory: zero-argument callable returning a fresh
+                :class:`EmpiricalTimingModel` per logical table (each
+                logical table is a separate physical TCAM bank).
+            tables: the pipeline's logical tables, in traversal order.
+            rng: optional generator for latency noise (shared).
+
+        Raises:
+            ValueError: on an empty pipeline or duplicate table names.
+        """
+        if not tables:
+            raise ValueError("a multi-table switch needs at least one table")
+        names = [spec.name for spec in tables]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate table names: {names}")
+        self.specs: Dict[str, LogicalTableSpec] = {s.name: s for s in tables}
+        self.installers: Dict[str, RuleInstaller] = {}
+        stages: List[PipelineStage] = []
+        for spec in tables:
+            timing = timing_factory()
+            if spec.guarantee is not None:
+                config = spec.config if spec.config is not None else HermesConfig()
+                config.guarantee = spec.guarantee
+                installer: RuleInstaller = HermesInstaller(
+                    timing, config=config, predicate=spec.predicate, rng=rng
+                )
+            else:
+                installer = DirectInstaller(timing, rng=rng)
+            self.installers[spec.name] = installer
+            stages.append(
+                PipelineStage(name=spec.name, table=installer, on_miss=spec.on_miss)
+            )
+        self.pipeline = Pipeline(stages)
+        self._order = names
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> RuleInstaller:
+        """The installer managing one logical table.
+
+        Raises:
+            KeyError: for unknown table names.
+        """
+        return self.installers[name]
+
+    def table_names(self) -> List[str]:
+        """Logical tables in pipeline order."""
+        return list(self._order)
+
+    def apply(self, table_name: str, flow_mod: FlowMod) -> FlowModResult:
+        """Apply a FlowMod to the named logical table."""
+        return self.installers[table_name].apply(flow_mod)
+
+    def advance_time(self, now: float) -> float:
+        """Drive every table's background machinery; returns total seconds."""
+        return sum(
+            installer.advance_time(now) for installer in self.installers.values()
+        )
+
+    def guarantees(self) -> Dict[str, Optional[float]]:
+        """Per-table guarantee in seconds (None for unmanaged tables)."""
+        return {
+            name: (
+                spec.guarantee.insertion_latency
+                if spec.guarantee is not None
+                else None
+            )
+            for name, spec in self.specs.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def process(self, key: int) -> PipelineVerdict:
+        """Run one packet through the whole pipeline.
+
+        Within a Hermes-managed table the shadow is consulted before the
+        main slice (that is the installer's ``lookup``); across tables the
+        configured miss behaviour applies.
+        """
+        return self.pipeline.process(key)
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        """Pipeline lookup returning just the matched rule (or None)."""
+        verdict = self.pipeline.process(key)
+        return verdict.rule
+
+    def occupancy(self) -> Dict[str, int]:
+        """Physical occupancy per logical table."""
+        return {
+            name: installer.occupancy()
+            for name, installer in self.installers.items()
+        }
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={'hermes' if self.specs[name].guarantee else 'plain'}"
+            for name in self._order
+        )
+        return f"MultiTableHermes({parts})"

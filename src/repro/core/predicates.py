@@ -1,0 +1,122 @@
+"""Match predicates: which rules get the guarantee (Section 7).
+
+``CreateTCAMQoS`` takes a *match-predicate* selecting the rules entitled to
+the guaranteed path.  Any ``Callable[[Rule], bool]`` works; this module
+provides the vocabulary operators actually use — prefix regions, priority
+bands, action kinds — plus boolean combinators, all composable and
+printable (the string form shows up in operator tooling and logs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..tcam.prefix import Prefix
+from ..tcam.rule import Rule
+
+MatchPredicate = Callable[[Rule], bool]
+
+
+class Predicate:
+    """A named, composable match predicate.
+
+    Supports ``&``, ``|``, and ``~`` for conjunction, disjunction, and
+    negation; calling it evaluates the rule.
+    """
+
+    def __init__(self, fn: MatchPredicate, description: str) -> None:
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, rule: Rule) -> bool:
+        return self._fn(rule)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda rule: self(rule) and other(rule),
+            f"({self.description} and {other.description})",
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda rule: self(rule) or other(rule),
+            f"({self.description} or {other.description})",
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(lambda rule: not self(rule), f"not {self.description}")
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.description})"
+
+
+def everything() -> Predicate:
+    """Guarantee every rule (the default)."""
+    return Predicate(lambda _rule: True, "everything")
+
+
+def nothing() -> Predicate:
+    """Guarantee no rule (an inactive QoS)."""
+    return Predicate(lambda _rule: False, "nothing")
+
+
+def within_prefix(prefix: "Prefix | str") -> Predicate:
+    """Rules whose match lies wholly inside ``prefix``.
+
+    Non-prefix (general ternary) matches qualify only when the prefix
+    contains them as a ternary region.
+    """
+    if isinstance(prefix, str):
+        prefix = Prefix.from_string(prefix)
+    from ..tcam.ternary import TernaryMatch
+
+    region = TernaryMatch.from_prefix(prefix)
+
+    def check(rule: Rule) -> bool:
+        return region.contains(rule.match)
+
+    return Predicate(check, f"within {prefix}")
+
+
+def overlapping_prefix(prefix: "Prefix | str") -> Predicate:
+    """Rules whose match overlaps ``prefix`` at all."""
+    if isinstance(prefix, str):
+        prefix = Prefix.from_string(prefix)
+    from ..tcam.ternary import TernaryMatch
+
+    region = TernaryMatch.from_prefix(prefix)
+
+    def check(rule: Rule) -> bool:
+        return region.overlaps(rule.match)
+
+    return Predicate(check, f"overlapping {prefix}")
+
+
+def priority_band(low: int, high: int) -> Predicate:
+    """Rules with ``low <= priority <= high``.
+
+    Raises:
+        ValueError: when the band is empty.
+    """
+    if low > high:
+        raise ValueError(f"empty priority band [{low}, {high}]")
+    return Predicate(
+        lambda rule: low <= rule.priority <= high,
+        f"priority in [{low}, {high}]",
+    )
+
+
+def action_kind(kind: str) -> Predicate:
+    """Rules whose action is of the given kind (output/drop/controller)."""
+    if kind not in ("output", "drop", "controller"):
+        raise ValueError(f"unknown action kind {kind!r}")
+    return Predicate(lambda rule: rule.action.kind == kind, f"action {kind}")
+
+
+def output_port_in(ports: Sequence[int]) -> Predicate:
+    """Output rules targeting one of the given ports."""
+    allowed = frozenset(ports)
+    return Predicate(
+        lambda rule: rule.action.kind == "output" and rule.action.port in allowed,
+        f"output port in {sorted(allowed)}",
+    )

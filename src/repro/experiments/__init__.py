@@ -1,0 +1,55 @@
+"""Per-table/figure experiment modules.
+
+Every module exposes ``run(config) -> ExperimentResult``; the registry maps
+the paper's artifact ids to those entry points.  ``python -m
+repro.experiments <id>`` regenerates one artifact (or ``all``).
+"""
+
+from . import (
+    ablation,
+    autotune_exp,
+    bgp_section,
+    failover,
+    fig01_jct,
+    fig08_rit,
+    fig09_fct,
+    fig10_related,
+    fig11_timeseries,
+    fig12_simple,
+    fig13_slack,
+    fig14_overhead,
+    fig15_cpu,
+    sensitivity,
+    table1,
+)
+
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig1": fig01_jct.run,
+    "fig8": fig08_rit.run,
+    "fig9": fig09_fct.run,
+    "fig10": fig10_related.run,
+    "fig11": fig11_timeseries.run,
+    "fig12": fig12_simple.run,
+    "fig13": fig13_slack.run,
+    "fig14": fig14_overhead.run,
+    "fig15": fig15_cpu.run,
+    "bgp": bgp_section.run,
+    "sensitivity": sensitivity.run,
+    "ablation": ablation.run,
+    "autotune": autotune_exp.run,
+    "failover": failover.run,
+}
+
+
+def run_experiment(name: str):
+    """Run one experiment by registry id and return its ExperimentResult."""
+    key = name.strip().lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key]()
+
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,33 @@
+"""CLI: regenerate one or all of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig12 fig13
+    python -m repro.experiments all
+"""
+
+import sys
+
+from . import EXPERIMENTS, run_experiment
+
+
+def main(argv) -> int:
+    """Run the named experiments and print their rendered artifacts."""
+    if not argv or argv == ["all"]:
+        names = sorted(EXPERIMENTS)
+    else:
+        names = argv
+    for name in names:
+        try:
+            result = run_experiment(name)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

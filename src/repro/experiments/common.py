@@ -1,0 +1,318 @@
+"""Shared machinery for the per-figure experiment modules.
+
+Every experiment module exposes ``run(config) -> ExperimentResult`` with a
+config dataclass defaulting to a *quick* scale that completes in seconds
+(the benchmarks use it).  Passing ``full=True`` moves to paper scale (k=16
+fat tree, thousands of jobs); the shapes are identical, the tails longer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..baselines import make_installer
+from ..core import GuaranteeSpec, HermesConfig
+from ..simulator import Simulation, SimulationConfig, TeAppConfig
+from ..switchsim import SwitchAgent
+from ..tcam import get_switch_model
+from ..topology import FatTreeSpec, build_fat_tree, get_isp_topology, hosts, pops
+from ..traffic import (
+    TimedFlowMod,
+    flows_from_matrix,
+    flows_of,
+    generate_jobs,
+    gravity_matrix,
+    is_short_job,
+    tomogravity_matrix,
+    link_loads_from_matrix,
+)
+
+SWITCHES_UNDER_TEST = ("dell-8132f", "hp-5406zl", "pica8-p3290")
+
+
+@dataclass(frozen=True)
+class WorkloadScale:
+    """Knobs separating quick (benchmark) runs from paper-scale runs."""
+
+    fat_tree_k: int = 4
+    link_capacity: float = 1e9
+    job_count: int = 40
+    job_arrival_rate: float = 4.0
+    isp_flow_duration: float = 6.0
+    isp_mean_flow_size: float = 100e6
+    isp_load_factor: float = 0.35  # fraction of total capacity offered
+    seed: int = 0
+
+
+QUICK_SCALE = WorkloadScale()
+FULL_SCALE = WorkloadScale(
+    fat_tree_k=16,
+    link_capacity=40e9,
+    job_count=2000,
+    job_arrival_rate=25.0,
+    isp_flow_duration=60.0,
+)
+
+
+def default_hermes_config(guarantee_ms: float = 5.0) -> HermesConfig:
+    """The paper's default Hermes: Cubic Spline + Slack 100%, 5 ms."""
+    return HermesConfig(
+        guarantee=GuaranteeSpec.milliseconds(guarantee_ms),
+        predictor="cubic-spline",
+        corrector="slack",
+        slack=1.0,
+    )
+
+
+def heterogeneous_installer_factory(
+    scheme: str,
+    model_by_role: Dict[str, str],
+    default_switch: str = "pica8-p3290",
+    hermes_config: Optional[HermesConfig] = None,
+    seed: Optional[int] = None,
+) -> Callable[[str], object]:
+    """Per-role switch models (real fabrics mix hardware generations).
+
+    ``model_by_role`` maps a switch-name prefix (``"edge"`` / ``"agg"`` /
+    ``"core"``, or any prefix of your topology's naming scheme) to a switch
+    model registry key; unmatched switches use ``default_switch``.
+    """
+    counter = {"next": 0}
+
+    def factory(switch_name: str):
+        switch = default_switch
+        for role, model in model_by_role.items():
+            if switch_name.startswith(role):
+                switch = model
+                break
+        rng = None
+        if seed is not None:
+            counter["next"] += 1
+            rng = np.random.default_rng(seed + counter["next"])
+        return make_installer(
+            scheme,
+            get_switch_model(switch),
+            rng=rng,
+            hermes_config=(
+                replace(hermes_config) if hermes_config is not None else None
+            ),
+        )
+
+    return factory
+
+
+def installer_factory(
+    scheme: str,
+    switch: str,
+    hermes_config: Optional[HermesConfig] = None,
+    seed: Optional[int] = None,
+) -> Callable[[str], object]:
+    """A per-switch installer factory for the simulator.
+
+    Each switch gets an independent installer (and an independent RNG
+    stream when ``seed`` is given, so latency noise differs per switch but
+    runs stay reproducible).
+    """
+    counter = {"next": 0}
+
+    def factory(switch_name: str):
+        rng = None
+        if seed is not None:
+            counter["next"] += 1
+            rng = np.random.default_rng(seed + counter["next"])
+        return make_installer(
+            scheme,
+            get_switch_model(switch),
+            rng=rng,
+            hermes_config=(
+                replace(hermes_config) if hermes_config is not None else None
+            ),
+        )
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def facebook_workload(scale: WorkloadScale = QUICK_SCALE):
+    """The Facebook MapReduce workload on a fat tree.
+
+    Returns (graph, flows, short_job_ids, long_job_ids).
+    """
+    graph = build_fat_tree(
+        FatTreeSpec(k=scale.fat_tree_k, link_capacity=scale.link_capacity)
+    )
+    jobs = generate_jobs(
+        hosts(graph),
+        job_count=scale.job_count,
+        arrival_rate=scale.job_arrival_rate,
+        rng=np.random.default_rng(scale.seed),
+    )
+    short_ids = {job.job_id for job in jobs if is_short_job(job)}
+    long_ids = {job.job_id for job in jobs if not is_short_job(job)}
+    return graph, flows_of(jobs), short_ids, long_ids
+
+
+def isp_workload(name: str, scale: WorkloadScale = QUICK_SCALE, tomogravity: bool = False):
+    """An ISP workload: gravity (or tomo-gravity) TM realized as flows.
+
+    Returns (graph, flows).
+    """
+    graph = get_isp_topology(name)
+    total_capacity = sum(data["capacity"] for _, _, data in graph.edges(data=True))
+    matrix = gravity_matrix(
+        pops(graph),
+        total_traffic=scale.isp_load_factor * total_capacity,
+        rng=np.random.default_rng(scale.seed),
+    )
+    if tomogravity:
+        # The paper's §8.1.3 pipeline: derive link loads, re-estimate the
+        # matrix tomographically, and use the estimate.
+        loads = link_loads_from_matrix(graph, matrix)
+        matrix = tomogravity_matrix(graph, loads)
+    flows = flows_from_matrix(
+        matrix,
+        duration=scale.isp_flow_duration,
+        mean_flow_size=scale.isp_mean_flow_size,
+        rng=np.random.default_rng(scale.seed + 1),
+    )
+    return graph, flows
+
+
+def te_simulation_config(
+    scale: WorkloadScale = QUICK_SCALE, control_rtt: float = 0.25e-3
+) -> SimulationConfig:
+    """The TE-simulation parameters shared by Figures 1 and 8-10."""
+    return SimulationConfig(
+        control_rtt=control_rtt,
+        te=TeAppConfig(
+            epoch=0.2, utilization_threshold=0.5, max_moves_per_epoch=24
+        ),
+        k_paths=4,
+        max_time=1200.0,
+        baseline_occupancy=500,
+        initial_path_policy="static",
+    )
+
+
+def run_te_simulation(
+    graph: nx.Graph,
+    flows,
+    scheme: str,
+    switch: str,
+    hermes_config: Optional[HermesConfig] = None,
+    config: Optional[SimulationConfig] = None,
+    seed: int = 100,
+):
+    """Run one (workload x scheme x switch) simulation; returns (metrics, sim)."""
+    factory = installer_factory(scheme, switch, hermes_config, seed=seed)
+    simulation = Simulation(
+        graph,
+        list(flows),
+        factory,
+        config if config is not None else te_simulation_config(),
+    )
+    metrics = simulation.run()
+    return metrics, simulation
+
+
+# ----------------------------------------------------------------------
+# Single-switch trace replay (microbench / BGP / time series)
+# ----------------------------------------------------------------------
+@dataclass
+class ReplayOutcome:
+    """Result of replaying a timed FlowMod trace against one switch.
+
+    Attributes:
+        response_times: queueing-inclusive per-action times (what a
+            controller observes).
+        execution_latencies: pure TCAM execution time per action (what the
+            switch spends — the Figure 11 series).
+        agent: the switch agent, for scheme-specific introspection.
+    """
+
+    response_times: List[float]
+    execution_latencies: List[float]
+    agent: SwitchAgent
+
+    @property
+    def installer(self):
+        """The installer behind the replayed agent."""
+        return self.agent.installer
+
+
+def replay_trace(
+    trace: Sequence[TimedFlowMod],
+    scheme: str,
+    switch: str,
+    hermes_config: Optional[HermesConfig] = None,
+    prefill_rules: Sequence = (),
+    batch_window: Optional[float] = None,
+    seed: int = 7,
+) -> ReplayOutcome:
+    """Replay a timed trace against a fresh single-switch installer.
+
+    Args:
+        trace: timed FlowMods, in time order.
+        scheme: installer name (naive / hermes / tango / espres / ...).
+        switch: switch-model registry key.
+        hermes_config: forwarded when scheme == "hermes".
+        prefill_rules: background rules installed before time starts.
+        batch_window: when set, FlowMods arriving within the same window
+            are submitted as one batch (gives Tango/ESPRES reordering and
+            aggregation opportunities, as their controller-side batching
+            would).
+        seed: RNG seed for latency noise.
+    """
+    installer = make_installer(
+        scheme,
+        get_switch_model(switch),
+        rng=np.random.default_rng(seed),
+        hermes_config=replace(hermes_config) if hermes_config is not None else None,
+    )
+    if prefill_rules:
+        installer.prefill(list(prefill_rules))
+    agent = SwitchAgent(installer, name=f"{scheme}@{switch}")
+    response_times: List[float] = []
+    execution_latencies: List[float] = []
+
+    def record(completed_actions) -> None:
+        for action in completed_actions:
+            response_times.append(action.response_time)
+            execution_latencies.append(action.result.latency)
+
+    if batch_window is None:
+        for timed in trace:
+            record([agent.submit(timed.flow_mod, at_time=timed.time)])
+    else:
+        batch: List[TimedFlowMod] = []
+        batch_start = None
+        for timed in trace:
+            if batch_start is None or timed.time - batch_start <= batch_window:
+                if batch_start is None:
+                    batch_start = timed.time
+                batch.append(timed)
+                continue
+            record(
+                agent.submit_batch(
+                    [item.flow_mod for item in batch], at_time=batch_start
+                )
+            )
+            batch = [timed]
+            batch_start = timed.time
+        if batch:
+            record(
+                agent.submit_batch(
+                    [item.flow_mod for item in batch], at_time=batch_start
+                )
+            )
+    return ReplayOutcome(
+        response_times=response_times,
+        execution_latencies=execution_latencies,
+        agent=agent,
+    )

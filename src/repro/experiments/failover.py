@@ -1,0 +1,119 @@
+"""Extension: failure recovery time vs. TCAM-management scheme.
+
+The paper's introduction motivates guarantees with use cases where
+reconfiguration speed is *correctness*: "critical infrastructures ...
+cyber-physical systems" need the network repaired within a deadline.  This
+experiment injects link failures into a loaded fat tree and measures the
+blackhole time — flow-seconds stranded on dead paths while the repair rules
+crawl into the TCAMs.
+
+Expected shape: blackhole time tracks the scheme's rule-installation
+latency, so Hermes repairs an order of magnitude faster than a raw switch
+under load, and the zero-latency control plane bounds what is achievable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..analysis import ExperimentResult
+from ..baselines import make_installer
+from ..simulator import Simulation, SimulationConfig, TeAppConfig
+from ..tcam import get_switch_model
+from ..topology import FatTreeSpec, build_fat_tree, hosts
+from ..traffic import flows_of, generate_jobs
+from .common import default_hermes_config
+
+SCHEMES: Tuple[Tuple[str, str, str], ...] = (
+    ("zero-latency", "naive", "ideal"),
+    ("raw switch", "naive", "pica8-p3290"),
+    ("ESPRES", "espres", "pica8-p3290"),
+    ("Hermes", "hermes", "pica8-p3290"),
+)
+
+
+@dataclass
+class FailoverConfig:
+    """Workload and failure schedule."""
+
+    fat_tree_k: int = 4
+    link_capacity: float = 1e9
+    job_count: int = 25
+    failure_times: Tuple[float, ...] = (1.0, 2.0, 3.0)
+    seed: int = 4
+
+
+def _failure_schedule(graph, config: FailoverConfig):
+    """Fail one distinct agg<->core link per failure time."""
+    core_links = sorted(
+        tuple(sorted((a, b)))
+        for a, b in graph.edges
+        if a.startswith(("agg", "core")) and b.startswith(("agg", "core"))
+    )
+    rng = np.random.default_rng(config.seed)
+    picks = rng.choice(len(core_links), size=len(config.failure_times), replace=False)
+    return tuple(
+        (time, core_links[int(index)])
+        for time, index in zip(config.failure_times, picks)
+    )
+
+
+def run_scheme(label: str, scheme: str, switch: str, config: FailoverConfig):
+    """One scheme's run; returns (blackhole seconds, repair RIT p99 ms)."""
+    graph = build_fat_tree(
+        FatTreeSpec(k=config.fat_tree_k, link_capacity=config.link_capacity)
+    )
+    flows = flows_of(
+        generate_jobs(
+            hosts(graph),
+            job_count=config.job_count,
+            arrival_rate=6.0,
+            rng=np.random.default_rng(config.seed),
+        )
+    )
+    sim_config = SimulationConfig(
+        te=TeAppConfig(epoch=10.0),  # failures only: no TE noise
+        baseline_occupancy=500,
+        max_time=600.0,
+        link_failures=_failure_schedule(graph, config),
+    )
+    hermes_config = default_hermes_config() if scheme == "hermes" else None
+    factory = lambda name: make_installer(
+        scheme, get_switch_model(switch), hermes_config=hermes_config
+    )
+    simulation = Simulation(graph, flows, factory, sim_config)
+    metrics = simulation.run()
+    rits = metrics.rits()
+    p99 = float(np.percentile(rits, 99) * 1e3) if rits else 0.0
+    return simulation.blackhole_time, p99, metrics.total_reroutes()
+
+
+def run(config: FailoverConfig = FailoverConfig()) -> ExperimentResult:
+    """Compare failure-recovery behaviour across schemes."""
+    rows: List[tuple] = []
+    for label, scheme, switch in SCHEMES:
+        blackhole, p99, reroutes = run_scheme(label, scheme, switch, config)
+        rows.append(
+            (label, round(blackhole * 1e3, 3), round(p99, 3), reroutes)
+        )
+    return ExperimentResult(
+        experiment_id="Extension (failure recovery)",
+        title="Blackhole time after link failures vs. scheme",
+        headers=[
+            "scheme",
+            "blackhole time (ms, flow-seconds x1e3)",
+            "repair RIT p99 (ms)",
+            "repairs",
+        ],
+        rows=rows,
+        notes=(
+            "Blackhole time sums, over all affected flows, the window "
+            "between a link failure and the activation of the repaired "
+            "path. Shape: it tracks rule-installation latency — Hermes "
+            "repairs near the zero-latency bound, the raw switch pays its "
+            "occupancy-driven TCAM cost on every repair rule."
+        ),
+    )

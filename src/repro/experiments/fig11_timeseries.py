@@ -1,0 +1,153 @@
+"""Figure 11: time series of installation time for the first 1000 rules.
+
+A single switch receives a stream of rule batches; the per-rule
+installation time is plotted against the rule index for Tango, ESPRES, and
+Hermes.  Two stream flavours reproduce the paper's two panels:
+
+* **facebook** — data-center style: batches of sibling /24s under shared
+  pods (the "properties of IP allocation and symmetry in the data center"
+  Tango aggregates away);
+* **geant** — ISP style: scattered prefixes with little aggregation
+  structure, where Tango degenerates to ESPRES-like reordering.
+
+Expected shape: all schemes' costs grow slowly with table occupancy;
+Tango and ESPRES track each other early and diverge once aggregation
+opportunities matter; Hermes stays flat at its guarantee throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..analysis import ExperimentResult
+from ..switchsim import FlowMod
+from ..tcam import Action, Rule
+from ..traffic import TimedFlowMod
+from .common import default_hermes_config, replay_trace
+
+SCHEMES: Tuple[Tuple[str, str], ...] = (
+    ("Tango", "tango"),
+    ("ESPRES", "espres"),
+    ("Hermes", "hermes"),
+)
+
+
+@dataclass
+class Fig11Config:
+    """Stream parameters for the time-series experiment."""
+
+    rule_count: int = 1000
+    batch_size: int = 10
+    batch_interval: float = 0.5
+    switch: str = "pica8-p3290"
+    sample_every: int = 100
+    seed: int = 3
+
+
+def build_stream(flavour: str, config: Fig11Config) -> List[TimedFlowMod]:
+    """Build the rule stream for one panel (``facebook`` or ``geant``)."""
+    if flavour not in ("facebook", "geant"):
+        raise ValueError(f"unknown stream flavour {flavour!r}")
+    rng = np.random.default_rng(config.seed)
+    trace: List[TimedFlowMod] = []
+    batches = (config.rule_count + config.batch_size - 1) // config.batch_size
+    emitted = 0
+    for batch_index in range(batches):
+        batch_time = (batch_index + 1) * config.batch_interval
+        if flavour == "facebook":
+            # Data-center allocation symmetry: most of the batch is sibling
+            # /24s under one pod (same priority and action, so they coalesce
+            # under Tango), with some scattered per-flow overrides mixed in.
+            pod = batch_index % 200
+            priority = int(rng.integers(100, 1000))
+            port = (batch_index % 4) + 1
+            clustered = int(round(config.batch_size * 0.6))
+            rules = [
+                Rule.from_prefix(
+                    f"10.{pod}.{rack}.0/24", priority, Action.output(port)
+                )
+                for rack in range(clustered)
+            ]
+            rules.extend(
+                _scattered_rule(rng) for _ in range(config.batch_size - clustered)
+            )
+        else:
+            # Scattered ISP prefixes: varied lengths, priorities, and ports.
+            rules = [_scattered_rule(rng) for _ in range(config.batch_size)]
+        for rule in rules:
+            if emitted >= config.rule_count:
+                break
+            trace.append(TimedFlowMod(time=batch_time, flow_mod=FlowMod.add(rule)))
+            emitted += 1
+    return trace
+
+
+def _scattered_rule(rng: np.random.Generator) -> Rule:
+    from ..tcam import Prefix
+
+    length = int(rng.choice([16, 20, 22, 24], p=[0.1, 0.2, 0.2, 0.5]))
+    mask = ((1 << length) - 1) << (32 - length)
+    network = int(rng.integers(1, 223)) << 24 | int(rng.integers(0, 1 << 24))
+    return Rule.from_prefix(
+        Prefix(network & mask, length),
+        int(rng.integers(100, 1000)),
+        Action.output(int(rng.integers(1, 16))),
+    )
+
+
+def installation_series(
+    flavour: str, config: Fig11Config
+) -> Dict[str, List[float]]:
+    """Per-rule installation times for each scheme on one stream flavour."""
+    series: Dict[str, List[float]] = {}
+    for label, scheme in SCHEMES:
+        trace = build_stream(flavour, config)
+        outcome = replay_trace(
+            trace,
+            scheme,
+            config.switch,
+            hermes_config=default_hermes_config() if scheme == "hermes" else None,
+            batch_window=config.batch_interval / 2,
+            seed=config.seed,
+        )
+        # Per-rule installation time as the controller observes it: rules
+        # folded into a Tango aggregate complete with (and report) the
+        # aggregate's single write; later rules in a batch include their
+        # wait behind the batch's earlier writes.
+        series[label] = outcome.response_times
+    return series
+
+
+def run(config: Fig11Config = Fig11Config()) -> ExperimentResult:
+    """Regenerate the Figure 11 time series (sampled every N rules)."""
+    rows: List[tuple] = []
+    for flavour in ("facebook", "geant"):
+        series = installation_series(flavour, config)
+        indices = range(
+            config.sample_every - 1, config.rule_count, config.sample_every
+        )
+        for index in indices:
+            row = [flavour, index + 1]
+            for label, _ in SCHEMES:
+                samples = series[label]
+                # Mean over the window ending at this index smooths noise
+                # the way the paper's plotted series reads.
+                window = samples[max(0, index + 1 - config.sample_every) : index + 1]
+                row.append(round(float(np.mean(window)) * 1e3, 3) if window else None)
+            rows.append(tuple(row))
+    headers = ["stream", "rule #"] + [f"{label} (ms)" for label, _ in SCHEMES]
+    return ExperimentResult(
+        experiment_id="Figure 11",
+        title="Installation-time series over the first 1000 rules",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Shape: Tango and ESPRES grow with occupancy and track each "
+            "other early; Tango pulls ahead on the facebook stream once its "
+            "aggregation bites (and matters less on geant's unstructured "
+            "prefixes). Hermes stays flat within its guarantee."
+        ),
+    )

@@ -1,0 +1,32 @@
+"""Varys: the flow-level network simulator and its components."""
+
+from .controller import (
+    InstallOutcome,
+    InstallerFactory,
+    SdnController,
+    flow_match,
+    flow_rule_priority,
+)
+from .fairshare import Link, link_utilization, max_min_fair_rates
+from .metrics import FlowRecord, MetricsCollector
+from .sdnapp import ProactiveTeApp, Reroute, TeAppConfig
+from .simulation import Simulation, SimulationConfig
+
+__all__ = [
+    "FlowRecord",
+    "InstallOutcome",
+    "InstallerFactory",
+    "Link",
+    "MetricsCollector",
+    "ProactiveTeApp",
+    "Reroute",
+    "SdnController",
+    "Simulation",
+    "SimulationConfig",
+    "TeAppConfig",
+    "flow_match",
+    "flow_rule_priority",
+    "link_utilization",
+    "link_utilization",
+    "max_min_fair_rates",
+]

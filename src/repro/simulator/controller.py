@@ -1,0 +1,220 @@
+"""The SDN controller model.
+
+The controller owns one :class:`~repro.switchsim.agent.SwitchAgent` per
+switch in the topology — each wrapping whichever installer scheme the run
+evaluates (naive / Hermes / Tango / ESPRES) — and converts TE decisions into
+per-switch FlowMods.  Control-channel RTT is modelled explicitly: the
+paper's observation that "the benefits of Hermes are more pronounced ...
+where RTTs are small (e.g. in the data center)" falls out of this term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..switchsim.agent import SwitchAgent
+from ..switchsim.installer import RuleInstaller
+from ..switchsim.messages import FlowMod, FlowModCommand
+from ..tcam.rule import Action, Rule
+from ..tcam.ternary import TernaryMatch
+from ..topology.routing import Path, path_switches
+from ..traffic.flows import FlowSpec
+
+InstallerFactory = Callable[[str], RuleInstaller]
+
+
+def flow_match(flow: FlowSpec) -> TernaryMatch:
+    """The exact-match TCAM key identifying one flow.
+
+    Flow-level simulation does not model packet headers; each flow gets a
+    unique 32-bit key (its flow id), matched exactly.
+    """
+    return TernaryMatch(
+        value=flow.flow_id & 0xFFFFFFFF, mask=0xFFFFFFFF, width=32
+    )
+
+
+def flow_rule_priority(flow: FlowSpec) -> int:
+    """Priority of a flow's TE override rules.
+
+    TE rules override default (low-priority) routing; spreading them over a
+    priority band makes inserts land mid-table, exercising the TCAM's
+    shifting behaviour the way real multi-tenant rule sets do.
+    """
+    return 100 + (flow.flow_id % 64)
+
+
+@dataclass
+class InstallOutcome:
+    """Result of installing one flow's rules along a path.
+
+    Attributes:
+        ready_time: when the new path is fully programmed (all switches
+            done) and the flow may switch over.
+        per_switch_rits: rule-installation time at each switch touched.
+    """
+
+    ready_time: float
+    per_switch_rits: List[float] = field(default_factory=list)
+
+
+class SdnController:
+    """Programs the network through per-switch agents."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        installer_factory: InstallerFactory,
+        control_rtt: float = 0.25e-3,
+    ) -> None:
+        """Create agents for every switch in ``graph``.
+
+        Args:
+            graph: the topology; nodes with kind != "host" get agents.
+            installer_factory: builds the per-switch installer (one fresh
+                instance per switch) — this selects the scheme under test.
+            control_rtt: controller<->switch round-trip in seconds
+                (data-center default 250 us; WAN experiments pass more).
+        """
+        if control_rtt < 0:
+            raise ValueError(f"control_rtt cannot be negative: {control_rtt}")
+        self.graph = graph
+        self.control_rtt = control_rtt
+        self.agents: Dict[str, SwitchAgent] = {
+            node: SwitchAgent(installer_factory(node), name=node)
+            for node, data in graph.nodes(data=True)
+            if data.get("kind") != "host"
+        }
+        # (flow_id, switch) -> installed rule id, for later deletion.
+        self._flow_rules: Dict[Tuple[int, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def prefill_switches(self, rules_per_switch: int) -> None:
+        """Pre-install background rules on every switch (no time charged).
+
+        Rules are /24 prefixes over 10.0.0.0/8 with priorities in a low
+        band (below every TE override rule), so a TE insert lands above
+        them and pays the occupancy-dependent shifting cost — the situation
+        Table 1 measures.
+        """
+        if rules_per_switch < 0:
+            raise ValueError("rules_per_switch cannot be negative")
+        for agent in self.agents.values():
+            background = [
+                Rule.from_prefix(
+                    f"10.{(index // 256) % 256}.{index % 256}.0/24",
+                    10 + (index % 80),
+                    Action.output((index % 8) + 1),
+                )
+                for index in range(rules_per_switch)
+            ]
+            agent.installer.prefill(background)
+
+    # ------------------------------------------------------------------
+    # Path programming
+    # ------------------------------------------------------------------
+    def install_path(
+        self, flow: FlowSpec, path: Path, now: float
+    ) -> InstallOutcome:
+        """Install the flow's override rule on every switch of ``path``.
+
+        The FlowMod reaches each switch after half an RTT; the path is
+        usable once the slowest switch finishes (plus the returning half
+        RTT for the barrier confirmation).
+        """
+        ready = now
+        rits: List[float] = []
+        for switch in path_switches(path, self.graph):
+            rule = Rule(
+                match=flow_match(flow),
+                priority=flow_rule_priority(flow),
+                action=Action.output(1),
+            )
+            completed = self.agents[switch].submit(
+                FlowMod.add(rule), at_time=now + self.control_rtt / 2
+            )
+            self._flow_rules[(flow.flow_id, switch)] = rule.rule_id
+            rits.append(completed.response_time)
+            ready = max(ready, completed.finish_time + self.control_rtt / 2)
+        return InstallOutcome(ready_time=ready, per_switch_rits=rits)
+
+    def install_paths(
+        self, assignments: Sequence[Tuple[FlowSpec, Path]], now: float
+    ) -> List[InstallOutcome]:
+        """Install several flows' paths as per-switch FlowMod batches.
+
+        Controllers batch the FlowMods of one reconfiguration round; the
+        per-switch batch is what gives reordering/rewriting schemes (ESPRES,
+        Tango) their leverage.  Returns one outcome per assignment, in
+        order.
+        """
+        per_switch: Dict[str, List[Tuple[int, Rule]]] = {}
+        for index, (flow, path) in enumerate(assignments):
+            for switch in path_switches(path, self.graph):
+                rule = Rule(
+                    match=flow_match(flow),
+                    priority=flow_rule_priority(flow),
+                    action=Action.output(1),
+                )
+                self._flow_rules[(flow.flow_id, switch)] = rule.rule_id
+                per_switch.setdefault(switch, []).append((index, rule))
+        outcomes = [InstallOutcome(ready_time=now) for _ in assignments]
+        for switch, entries in per_switch.items():
+            completed = self.agents[switch].submit_batch(
+                [FlowMod.add(rule) for _, rule in entries],
+                at_time=now + self.control_rtt / 2,
+            )
+            for (index, _rule), action in zip(entries, completed):
+                outcome = outcomes[index]
+                outcome.per_switch_rits.append(action.response_time)
+                outcome.ready_time = max(
+                    outcome.ready_time, action.finish_time + self.control_rtt / 2
+                )
+        return outcomes
+
+    def remove_flow_rules(
+        self, flow: FlowSpec, path: Optional[Path], now: float
+    ) -> None:
+        """Delete the flow's rules from the switches of ``path`` (if any)."""
+        if path is None:
+            return
+        for switch in path_switches(path, self.graph):
+            rule_id = self._flow_rules.pop((flow.flow_id, switch), None)
+            if rule_id is None:
+                continue
+            try:
+                self.agents[switch].submit(
+                    FlowMod.delete(rule_id), at_time=now + self.control_rtt / 2
+                )
+            except KeyError:
+                # The rule was already evicted (e.g. subsumed at insert
+                # time); deletion of a logical no-op is itself a no-op.
+                pass
+
+    def has_rules_for(self, flow_id: int) -> bool:
+        """True when any switch still holds rules for the flow."""
+        return any(key[0] == flow_id for key in self._flow_rules)
+
+    # ------------------------------------------------------------------
+    # Aggregate telemetry
+    # ------------------------------------------------------------------
+    def all_rits(self) -> List[float]:
+        """Response times of every ADD processed by any switch agent."""
+        rits: List[float] = []
+        for agent in self.agents.values():
+            for completed in agent.history():
+                if completed.flow_mod.command is FlowModCommand.ADD:
+                    rits.append(completed.response_time)
+        return rits
+
+    def total_violations(self) -> int:
+        """Guarantee violations across Hermes-managed switches (0 otherwise)."""
+        total = 0
+        for agent in self.agents.values():
+            total += getattr(agent.installer, "violations", 0)
+        return total

@@ -1,0 +1,96 @@
+"""Max-min fair rate allocation (progressive filling).
+
+Varys is a flow-level simulator: instead of packets, every active flow gets
+a fluid rate, and the rates are the max-min fair allocation over the links
+its current path traverses — the standard model for long-lived TCP flows
+and the one the coflow simulators the paper builds on [29, 30] use.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+
+Link = Tuple[str, str]
+
+
+def max_min_fair_rates(
+    flow_paths: Mapping[Hashable, Sequence[Link]],
+    link_capacities: Mapping[Link, float],
+) -> Dict[Hashable, float]:
+    """Compute max-min fair rates via progressive filling.
+
+    Args:
+        flow_paths: for each flow id, the links its path traverses.  Flows
+            with an empty link list (e.g. same-host transfers) are assigned
+            infinite capacity upstream; here they get a sentinel large rate.
+        link_capacities: capacity per link in bits/second.
+
+    Returns:
+        bits/second for every flow id.
+
+    Raises:
+        KeyError: when a path uses a link with no declared capacity.
+    """
+    UNCONSTRAINED_RATE = 1e15  # effectively infinite for same-host flows
+
+    rates: Dict[Hashable, float] = {}
+    active: Dict[Hashable, List[Link]] = {}
+    flows_on_link: Dict[Link, set] = {}
+    for flow_id, path in flow_paths.items():
+        links = list(path)
+        if not links:
+            rates[flow_id] = UNCONSTRAINED_RATE
+            continue
+        active[flow_id] = links
+        for link in links:
+            if link not in link_capacities:
+                raise KeyError(f"flow {flow_id!r} uses unknown link {link}")
+            flows_on_link.setdefault(link, set()).add(flow_id)
+
+    remaining: Dict[Link, float] = {
+        link: link_capacities[link] for link in flows_on_link
+    }
+
+    # Progressive filling: repeatedly find the bottleneck link (smallest
+    # fair share), freeze its flows at that share, subtract, repeat.
+    while active:
+        bottleneck_share = None
+        bottleneck_link = None
+        for link, flows in flows_on_link.items():
+            if not flows:
+                continue
+            share = remaining[link] / len(flows)
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck_link = link
+        if bottleneck_link is None:
+            break
+        frozen = list(flows_on_link[bottleneck_link])
+        for flow_id in frozen:
+            rates[flow_id] = max(0.0, bottleneck_share)
+            for link in active[flow_id]:
+                flows_on_link[link].discard(flow_id)
+                remaining[link] -= bottleneck_share
+            del active[flow_id]
+        flows_on_link = {
+            link: flows for link, flows in flows_on_link.items() if flows
+        }
+    return rates
+
+
+def link_utilization(
+    flow_paths: Mapping[Hashable, Sequence[Link]],
+    rates: Mapping[Hashable, float],
+    link_capacities: Mapping[Link, float],
+) -> Dict[Link, float]:
+    """Utilization in [0, ~1] per link under the given rates."""
+    load: Dict[Link, float] = {}
+    for flow_id, path in flow_paths.items():
+        rate = rates.get(flow_id, 0.0)
+        for link in path:
+            load[link] = load.get(link, 0.0) + rate
+    return {
+        link: load[link] / link_capacities[link]
+        for link in load
+        if link_capacities.get(link, 0.0) > 0
+    }

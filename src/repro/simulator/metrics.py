@@ -1,0 +1,122 @@
+"""Metrics collection: RIT, FCT, and JCT (Section 8.1.2 of the paper).
+
+* **Rule installation time (RIT)** — time for a switch to install one rule,
+  including queueing at the switch CPU.
+* **Flow completion time (FCT)** — first packet sent to last packet
+  received.
+* **Job completion time (JCT)** — start of a job's first flow to end of its
+  last flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..traffic.flows import FlowSpec
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle of one simulated flow."""
+
+    spec: FlowSpec
+    start_time: float
+    finish_time: Optional[float] = None
+    reroutes: int = 0
+
+    @property
+    def completed(self) -> bool:
+        """True once the flow's last byte has been delivered."""
+        return self.finish_time is not None
+
+    @property
+    def fct(self) -> float:
+        """Flow completion time in seconds.
+
+        Raises:
+            ValueError: when the flow has not completed.
+        """
+        if self.finish_time is None:
+            raise ValueError(f"flow {self.spec.flow_id} has not completed")
+        return self.finish_time - self.start_time
+
+
+class MetricsCollector:
+    """Accumulates flow, job, and rule-installation metrics for one run."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[int, FlowRecord] = {}
+        self._rits: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def flow_started(self, spec: FlowSpec, at_time: float) -> None:
+        """Register a flow's first byte."""
+        self._flows[spec.flow_id] = FlowRecord(spec=spec, start_time=at_time)
+
+    def flow_finished(self, flow_id: int, at_time: float) -> None:
+        """Register a flow's last byte.
+
+        Raises:
+            KeyError: for unknown flows.
+        """
+        self._flows[flow_id].finish_time = at_time
+
+    def flow_rerouted(self, flow_id: int) -> None:
+        """Count one TE-driven path change for the flow."""
+        self._flows[flow_id].reroutes += 1
+
+    def record_rit(self, latency: float) -> None:
+        """Record one rule installation time."""
+        self._rits.append(latency)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def flow_records(self) -> List[FlowRecord]:
+        """All flow records, completed or not."""
+        return list(self._flows.values())
+
+    def fcts(self) -> List[float]:
+        """FCTs of completed flows."""
+        return [record.fct for record in self._flows.values() if record.completed]
+
+    def rits(self) -> List[float]:
+        """All recorded rule installation times."""
+        return list(self._rits)
+
+    def jcts(self) -> Dict[int, float]:
+        """Per-job completion times (only jobs whose flows all completed)."""
+        starts: Dict[int, float] = {}
+        ends: Dict[int, float] = {}
+        incomplete: set = set()
+        for record in self._flows.values():
+            job_id = record.spec.job_id
+            if job_id is None:
+                continue
+            starts[job_id] = min(starts.get(job_id, record.start_time), record.start_time)
+            if record.completed:
+                ends[job_id] = max(ends.get(job_id, record.finish_time), record.finish_time)
+            else:
+                incomplete.add(job_id)
+        return {
+            job_id: ends[job_id] - starts[job_id]
+            for job_id in ends
+            if job_id not in incomplete
+        }
+
+    def job_bytes(self) -> Dict[int, float]:
+        """Total bytes per job (for the short/long split of Figure 1)."""
+        totals: Dict[int, float] = {}
+        for record in self._flows.values():
+            job_id = record.spec.job_id
+            if job_id is None:
+                continue
+            totals[job_id] = totals.get(job_id, 0.0) + record.spec.size
+        return totals
+
+    def total_reroutes(self) -> int:
+        """TE path changes across all flows."""
+        return sum(record.reroutes for record in self._flows.values())

@@ -1,0 +1,168 @@
+"""The proactive traffic-engineering SDNApp (Section 8.1.1).
+
+"[A] proactive traffic engineering SDNApp [33] that periodically
+reconfigures the network by using control plane actions to move congested
+flows away from congested links unto links with available capacity."
+
+Every epoch the app inspects link utilizations, picks the most congested
+links, and proposes moving their largest flows to the least-loaded of each
+flow's k candidate paths.  It is *proactive*: no packet-in messages, so no
+startup latency — the only control-plane cost is the reconfiguration
+FlowMods, which is exactly the cost Hermes bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..topology.routing import Path, PathProvider, path_links
+from ..traffic.flows import FlowSpec
+from .fairshare import Link
+
+
+@dataclass(frozen=True)
+class TeAppConfig:
+    """Tunables of the TE application.
+
+    Attributes:
+        epoch: reconfiguration period in seconds.
+        utilization_threshold: links above this are congestion candidates.
+        max_moves_per_epoch: cap on reroutes issued per epoch.
+        improvement_margin: a move must reduce the flow's bottleneck
+            utilization by at least this much to be worth the FlowMods.
+    """
+
+    epoch: float = 1.0
+    utilization_threshold: float = 0.7
+    max_moves_per_epoch: int = 16
+    improvement_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.epoch <= 0:
+            raise ValueError(f"epoch must be positive: {self.epoch}")
+        if not 0 < self.utilization_threshold <= 1:
+            raise ValueError(
+                f"utilization_threshold must be in (0, 1]: {self.utilization_threshold}"
+            )
+        if self.max_moves_per_epoch < 0:
+            raise ValueError("max_moves_per_epoch cannot be negative")
+
+
+@dataclass(frozen=True)
+class Reroute:
+    """One proposed path change."""
+
+    flow_id: int
+    new_path: Path
+
+
+class ProactiveTeApp:
+    """Moves the biggest flows off the hottest links each epoch."""
+
+    def __init__(self, provider: PathProvider, config: TeAppConfig = TeAppConfig()) -> None:
+        self.provider = provider
+        self.config = config
+
+    def plan(
+        self,
+        flows: Mapping[int, FlowSpec],
+        current_paths: Mapping[int, Path],
+        rates: Mapping[int, float],
+        utilization: Mapping[Link, float],
+        capacities: Mapping[Link, float],
+    ) -> List[Reroute]:
+        """Propose up to ``max_moves_per_epoch`` reroutes for this epoch.
+
+        Utilization is updated incrementally as moves are chosen so one
+        epoch's moves do not all pile onto the same cold link.
+        """
+        working_utilization: Dict[Link, float] = dict(utilization)
+        congested = sorted(
+            (
+                link
+                for link, value in working_utilization.items()
+                if value > self.config.utilization_threshold
+            ),
+            key=lambda link: -working_utilization[link],
+        )
+        if not congested:
+            return []
+        moves: List[Reroute] = []
+        moved_flows: set = set()
+        for hot_link in congested:
+            if len(moves) >= self.config.max_moves_per_epoch:
+                break
+            # Largest flows first: moving them relieves the most load.
+            candidates = sorted(
+                (
+                    flow_id
+                    for flow_id, path in current_paths.items()
+                    if hot_link in path_links(path) and flow_id not in moved_flows
+                ),
+                key=lambda flow_id: -rates.get(flow_id, 0.0),
+            )
+            for flow_id in candidates:
+                if len(moves) >= self.config.max_moves_per_epoch:
+                    break
+                flow = flows[flow_id]
+                rate = rates.get(flow_id, 0.0)
+                current_path = current_paths[flow_id]
+                current_cost = self._path_cost(
+                    current_path, working_utilization, exclude_rate=0.0, capacities=capacities
+                )
+                best_path = None
+                best_cost = current_cost - self.config.improvement_margin
+                for candidate in self.provider.paths(flow.source, flow.destination):
+                    if candidate == current_path:
+                        continue
+                    cost = self._path_cost(
+                        candidate,
+                        working_utilization,
+                        exclude_rate=0.0,
+                        capacities=capacities,
+                    )
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_path = candidate
+                if best_path is None:
+                    continue
+                moves.append(Reroute(flow_id=flow_id, new_path=best_path))
+                moved_flows.add(flow_id)
+                self._shift_load(
+                    working_utilization, current_path, best_path, rate, capacities
+                )
+                if working_utilization.get(hot_link, 0.0) <= self.config.utilization_threshold:
+                    break
+        return moves
+
+    @staticmethod
+    def _path_cost(
+        path: Path,
+        utilization: Mapping[Link, float],
+        exclude_rate: float,
+        capacities: Mapping[Link, float],
+    ) -> float:
+        """A path's cost: the utilization of its hottest link."""
+        del exclude_rate  # the flow's own share is symmetric across options
+        return max(
+            (utilization.get(link, 0.0) for link in path_links(path)), default=0.0
+        )
+
+    @staticmethod
+    def _shift_load(
+        utilization: Dict[Link, float],
+        old_path: Path,
+        new_path: Path,
+        rate: float,
+        capacities: Mapping[Link, float],
+    ) -> None:
+        """Move ``rate`` worth of load from old_path to new_path in place."""
+        for link in path_links(old_path):
+            capacity = capacities.get(link, 0.0)
+            if capacity > 0:
+                utilization[link] = utilization.get(link, 0.0) - rate / capacity
+        for link in path_links(new_path):
+            capacity = capacities.get(link, 0.0)
+            if capacity > 0:
+                utilization[link] = utilization.get(link, 0.0) + rate / capacity

@@ -1,0 +1,359 @@
+"""Varys: the flow-level network simulator (Section 8.1.1 of the paper).
+
+An event-driven fluid simulator: active flows hold max-min fair rates over
+their current paths; a proactive TE app reconfigures paths every epoch; and
+every reconfiguration pays the *control-plane action latency* of the rule
+installations it needs — the quantity Hermes bounds.  A rerouted flow keeps
+draining over its congested path until the new path's rules are installed
+on every switch, so slow TCAMs directly inflate FCT and JCT (Figures 1, 8,
+and 9).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..topology.routing import Path, PathProvider, path_links
+from ..traffic.flows import FlowSpec
+from .controller import InstallerFactory, SdnController
+from .fairshare import link_utilization, max_min_fair_rates
+from .metrics import MetricsCollector
+from .sdnapp import ProactiveTeApp, TeAppConfig
+
+
+@dataclass
+class SimulationConfig:
+    """Run-wide parameters.
+
+    Attributes:
+        control_rtt: controller<->switch RTT in seconds.
+        te: the TE application's tunables.
+        k_paths: candidate paths per OD pair.
+        max_time: hard stop in simulated seconds (flows still active then
+            are left incomplete).
+        baseline_occupancy: background rules pre-installed per switch —
+            production tables are never empty, and occupancy is what makes
+            TCAM inserts slow (Table 1).
+    """
+
+    control_rtt: float = 0.25e-3
+    te: TeAppConfig = field(default_factory=TeAppConfig)
+    k_paths: int = 4
+    max_time: float = math.inf
+    baseline_occupancy: int = 500
+    initial_path_policy: str = "ecmp-hash"
+    routing_mode: str = "proactive"
+    link_failures: tuple = ()  # ((time, (node_a, node_b)), ...)
+
+    def __post_init__(self) -> None:
+        if self.initial_path_policy not in ("ecmp-hash", "static"):
+            raise ValueError(
+                "initial_path_policy must be 'ecmp-hash' (hash flows over the "
+                f"ECMP set) or 'static' (single default path): {self.initial_path_policy!r}"
+            )
+        if self.routing_mode not in ("proactive", "reactive"):
+            raise ValueError(
+                "routing_mode must be 'proactive' (default routing exists; "
+                "only TE reconfigurations touch the control plane) or "
+                "'reactive' (every new flow punts to the controller and "
+                f"waits for its rules): {self.routing_mode!r}"
+            )
+
+
+@dataclass
+class _ActiveFlow:
+    """Mutable per-flow simulation state."""
+
+    spec: FlowSpec
+    remaining_bytes: float
+    path: Path
+    rate: float = 0.0
+    has_installed_rules: bool = False
+    pending_activation: bool = False
+    blackholed_since: Optional[float] = None
+
+
+class Simulation:
+    """One simulation run: a topology, a flow workload, and an installer."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        flows: Sequence[FlowSpec],
+        installer_factory: InstallerFactory,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        """Set up the run.
+
+        Args:
+            graph: topology with ``capacity`` on edges and ``kind`` on nodes.
+            flows: the workload, in any order.
+            installer_factory: per-switch TCAM-management scheme to test.
+            config: run parameters (defaults are the data-center setup).
+        """
+        self.config = config if config is not None else SimulationConfig()
+        self.graph = graph
+        self.provider = PathProvider(graph, k_paths=self.config.k_paths)
+        self.controller = SdnController(
+            graph, installer_factory, control_rtt=self.config.control_rtt
+        )
+        if self.config.baseline_occupancy > 0:
+            self.controller.prefill_switches(self.config.baseline_occupancy)
+        self.app = ProactiveTeApp(self.provider, self.config.te)
+        self.metrics = MetricsCollector()
+        self._capacities = {
+            tuple(sorted((a, b))): data["capacity"]
+            for a, b, data in graph.edges(data=True)
+        }
+        self._arrivals = sorted(flows, key=lambda flow: flow.start_time)
+        self._arrival_index = 0
+        self._active: Dict[int, _ActiveFlow] = {}
+        self._events: List[Tuple[float, int, str, object]] = []
+        self._event_counter = itertools.count()
+        self.now = 0.0
+        self._failed_links: set = set()
+        self.blackhole_time = 0.0  # flow-seconds spent on failed paths
+        for failure_time, link in self.config.link_failures:
+            self._schedule(failure_time, "fail", tuple(sorted(link)))
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def _schedule(self, time: float, kind: str, payload: object = None) -> None:
+        heapq.heappush(self._events, (time, next(self._event_counter), kind, payload))
+
+    def _next_arrival_time(self) -> float:
+        if self._arrival_index < len(self._arrivals):
+            return self._arrivals[self._arrival_index].start_time
+        return math.inf
+
+    def _next_completion(self) -> Tuple[float, Optional[int]]:
+        best_time, best_flow = math.inf, None
+        for flow_id, state in self._active.items():
+            if state.rate <= 0:
+                continue
+            eta = self.now + state.remaining_bytes * 8.0 / state.rate
+            if eta < best_time:
+                best_time, best_flow = eta, flow_id
+        return best_time, best_flow
+
+    def _advance_to(self, time: float) -> None:
+        """Drain bytes at current rates up to ``time``."""
+        elapsed = time - self.now
+        if elapsed > 0:
+            for state in self._active.values():
+                state.remaining_bytes -= state.rate * elapsed / 8.0
+                if state.remaining_bytes < 0:
+                    state.remaining_bytes = 0.0
+        self.now = time
+
+    def _recompute_rates(self) -> None:
+        paths = {
+            flow_id: path_links(state.path) for flow_id, state in self._active.items()
+        }
+        rates = max_min_fair_rates(paths, self._capacities)
+        for flow_id, state in self._active.items():
+            state.rate = rates.get(flow_id, 0.0)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> MetricsCollector:
+        """Run to completion (or ``max_time``); returns the metrics."""
+        self._schedule(self.config.te.epoch, "epoch")
+        while True:
+            completion_time, completing_flow = self._next_completion()
+            event_time = self._events[0][0] if self._events else math.inf
+            arrival_time = self._next_arrival_time()
+            next_time = min(completion_time, event_time, arrival_time)
+            if math.isinf(next_time):
+                break  # no arrivals, no events, nothing draining
+            if next_time > self.config.max_time:
+                self._advance_to(self.config.max_time)
+                break
+            self._advance_to(next_time)
+            if completion_time == next_time and completing_flow is not None:
+                self._complete_flow(completing_flow)
+            elif arrival_time == next_time:
+                self._admit_next_flow()
+            else:
+                _, _, kind, payload = heapq.heappop(self._events)
+                if kind == "epoch":
+                    self._run_te_epoch()
+                elif kind == "activate":
+                    self._activate_path(payload)
+                elif kind == "start":
+                    self._start_reactive_flow(payload)
+                elif kind == "fail":
+                    self._fail_link(payload)
+            if not self._active and self._arrival_index >= len(self._arrivals):
+                if not any(event[2] in ("activate", "start") for event in self._events):
+                    break
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _admit_next_flow(self) -> None:
+        spec = self._arrivals[self._arrival_index]
+        self._arrival_index += 1
+        ecmp = self.provider.ecmp_paths(spec.source, spec.destination)
+        if self._failed_links:
+            healthy = [
+                path
+                for path in ecmp
+                if not any(link in self._failed_links for link in path_links(path))
+            ]
+            if healthy:
+                ecmp = healthy
+            else:
+                fallback = self._first_healthy_path(spec)
+                if fallback is not None:
+                    ecmp = [fallback]
+        if self.config.initial_path_policy == "static":
+            # Deterministic default routing: collisions are common, so the
+            # TE app has real congestion to relieve (the paper's setting).
+            path = ecmp[0]
+        else:
+            path = ecmp[spec.flow_id % len(ecmp)]
+        self.metrics.flow_started(spec, self.now)
+        if self.config.routing_mode == "reactive":
+            # Packet-in: the first packet punts to the controller, which
+            # must install the flow's rules before any byte moves — the
+            # startup latency of reactive SDN applications.  The FCT clock
+            # is already running.
+            outcome = self.controller.install_path(spec, path, self.now)
+            for rit in outcome.per_switch_rits:
+                self.metrics.record_rit(rit)
+            self._schedule(
+                max(outcome.ready_time, self.now), "start", (spec, path)
+            )
+            return
+        self._active[spec.flow_id] = _ActiveFlow(
+            spec=spec, remaining_bytes=spec.size, path=path
+        )
+        self._recompute_rates()
+
+    def _start_reactive_flow(self, payload) -> None:
+        spec, path = payload
+        self._active[spec.flow_id] = _ActiveFlow(
+            spec=spec,
+            remaining_bytes=spec.size,
+            path=path,
+            has_installed_rules=True,
+        )
+        self._recompute_rates()
+
+    def _complete_flow(self, flow_id: int) -> None:
+        state = self._active.pop(flow_id)
+        self.metrics.flow_finished(flow_id, self.now)
+        if state.has_installed_rules:
+            self.controller.remove_flow_rules(state.spec, state.path, self.now)
+        self._recompute_rates()
+
+    def _run_te_epoch(self) -> None:
+        if self._active:
+            paths = {flow_id: state.path for flow_id, state in self._active.items()}
+            rates = {flow_id: state.rate for flow_id, state in self._active.items()}
+            flows = {flow_id: state.spec for flow_id, state in self._active.items()}
+            link_paths = {
+                flow_id: path_links(path) for flow_id, path in paths.items()
+            }
+            utilization = link_utilization(link_paths, rates, self._capacities)
+            eligible_paths = {
+                flow_id: path
+                for flow_id, path in paths.items()
+                if not self._active[flow_id].pending_activation
+            }
+            moves = [
+                move
+                for move in self.app.plan(
+                    flows, eligible_paths, rates, utilization, self._capacities
+                )
+                if move.flow_id in self._active
+                and not any(
+                    link in self._failed_links for link in path_links(move.new_path)
+                )
+            ]
+            assignments = [
+                (self._active[move.flow_id].spec, move.new_path) for move in moves
+            ]
+            # One reconfiguration round = one per-switch FlowMod batch —
+            # the granularity at which ESPRES/Tango reorder and rewrite.
+            outcomes = self.controller.install_paths(assignments, self.now)
+            for move, outcome in zip(moves, outcomes):
+                for rit in outcome.per_switch_rits:
+                    self.metrics.record_rit(rit)
+                self._active[move.flow_id].pending_activation = True
+                self._schedule(
+                    max(outcome.ready_time, self.now),
+                    "activate",
+                    (move.flow_id, move.new_path),
+                )
+        if self._arrival_index < len(self._arrivals) or self._active:
+            self._schedule(self.now + self.config.te.epoch, "epoch")
+
+    def _activate_path(self, payload) -> None:
+        flow_id, new_path = payload
+        state = self._active.get(flow_id)
+        if state is None:
+            return  # completed while the rules were being installed
+        old_path = state.path
+        had_rules = state.has_installed_rules
+        state.path = new_path
+        state.pending_activation = False
+        state.has_installed_rules = True
+        if state.blackholed_since is not None:
+            # The flow was stranded on a failed path until this activation:
+            # the whole window is control-plane-induced blackhole time.
+            self.blackhole_time += self.now - state.blackholed_since
+            state.blackholed_since = None
+        self.metrics.flow_rerouted(flow_id)
+        if had_rules:
+            self.controller.remove_flow_rules(state.spec, old_path, self.now)
+        self._recompute_rates()
+
+    # ------------------------------------------------------------------
+    # Link failures
+    # ------------------------------------------------------------------
+    def _first_healthy_path(self, spec: FlowSpec) -> Optional[Path]:
+        for candidate in self.provider.paths(spec.source, spec.destination):
+            if not any(link in self._failed_links for link in path_links(candidate)):
+                return candidate
+        return None
+
+    def _fail_link(self, link) -> None:
+        """A link fails: affected flows blackhole until rerouted.
+
+        The controller reacts immediately (failure notifications are
+        cheap); what takes time is *installing the repair rules* — exactly
+        the control-plane action latency Hermes bounds.
+        """
+        self._failed_links.add(link)
+        self._capacities[link] = 0.0
+        repairs = []
+        for flow_id, state in self._active.items():
+            if link not in path_links(state.path):
+                continue
+            state.blackholed_since = self.now
+            healthy = self._first_healthy_path(state.spec)
+            if healthy is not None and healthy != state.path:
+                repairs.append((flow_id, healthy))
+        assignments = [
+            (self._active[flow_id].spec, path) for flow_id, path in repairs
+        ]
+        outcomes = self.controller.install_paths(assignments, self.now)
+        for (flow_id, path), outcome in zip(repairs, outcomes):
+            for rit in outcome.per_switch_rits:
+                self.metrics.record_rit(rit)
+            self._active[flow_id].pending_activation = True
+            self._schedule(
+                max(outcome.ready_time, self.now), "activate", (flow_id, path)
+            )
+        self._recompute_rates()

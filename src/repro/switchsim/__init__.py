@@ -1,0 +1,28 @@
+"""Switch substrate: control messages, installers, pipeline, agent."""
+
+from .agent import AgentStats, CompletedAction, SwitchAgent
+from .installer import DirectInstaller, RuleInstaller
+from .messages import FlowMod, FlowModCommand, FlowModResult
+from .pipeline import (
+    LookupTable,
+    MissBehavior,
+    Pipeline,
+    PipelineStage,
+    PipelineVerdict,
+)
+
+__all__ = [
+    "AgentStats",
+    "CompletedAction",
+    "DirectInstaller",
+    "FlowMod",
+    "FlowModCommand",
+    "FlowModResult",
+    "LookupTable",
+    "MissBehavior",
+    "Pipeline",
+    "PipelineStage",
+    "PipelineVerdict",
+    "RuleInstaller",
+    "SwitchAgent",
+]

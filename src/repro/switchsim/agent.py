@@ -1,0 +1,151 @@
+"""The switch-resident control agent.
+
+Models the software path on the switch (Figure 2 of the paper): FlowMods
+arrive from the controller, queue at the switch CPU, and are executed
+serially against the TCAM through a :class:`RuleInstaller`.  Serial execution
+is what turns per-rule TCAM latency into queueing delay under bursts — the
+effect behind the paper's Figure 11 time series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..tcam.rule import Rule
+from .installer import RuleInstaller
+from .messages import FlowMod, FlowModResult
+
+
+@dataclass(frozen=True)
+class CompletedAction:
+    """A FlowMod's life cycle through the agent.
+
+    Attributes:
+        flow_mod: the request.
+        result: the installer's outcome (latency, fragments, path).
+        submit_time: when the controller's message reached the agent.
+        start_time: when the switch CPU began executing it.
+        finish_time: when the TCAM update completed.
+    """
+
+    flow_mod: FlowMod
+    result: FlowModResult
+    submit_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def response_time(self) -> float:
+        """Queueing plus execution time — the paper's rule installation time."""
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class AgentStats:
+    """Aggregate accounting across an agent's lifetime."""
+
+    actions: int = 0
+    guaranteed_actions: int = 0
+    busy_time: float = 0.0
+    background_time: float = 0.0
+
+    def record(self, completed: CompletedAction) -> None:
+        """Fold one completed action into the counters."""
+        self.actions += 1
+        if completed.result.used_guaranteed_path:
+            self.guaranteed_actions += 1
+        self.busy_time += completed.finish_time - completed.start_time
+
+
+class SwitchAgent:
+    """Serializes control-plane actions onto a rule installer.
+
+    The agent keeps a virtual clock: an action submitted at time *t* starts
+    at ``max(t, busy_until)`` and finishes after the installer-reported
+    latency.  Hermes's background work (Rule Manager migration) is driven by
+    :meth:`RuleInstaller.advance_time` before each action and accounted
+    separately — per the paper it runs in the background and does not block
+    the control path.
+    """
+
+    def __init__(self, installer: RuleInstaller, name: str = "switch") -> None:
+        """Wrap ``installer`` behind a serial control queue."""
+        self.installer = installer
+        self.name = name
+        self.stats = AgentStats()
+        self._busy_until = 0.0
+        self._history: List[CompletedAction] = []
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the control CPU becomes free."""
+        return self._busy_until
+
+    def history(self) -> List[CompletedAction]:
+        """Every completed action, in completion order."""
+        return list(self._history)
+
+    def install_latencies(self) -> List[float]:
+        """Per-action response times — the series the RIT CDFs are built from."""
+        return [completed.response_time for completed in self._history]
+
+    def submit(self, flow_mod: FlowMod, at_time: float = 0.0) -> CompletedAction:
+        """Submit one FlowMod at simulation time ``at_time``.
+
+        Returns the completed action with its queueing-inclusive timing.
+        """
+        self.stats.background_time += self.installer.advance_time(at_time)
+        start = max(at_time, self._busy_until)
+        result = self.installer.apply(flow_mod)
+        finish = start + result.latency
+        self._busy_until = finish
+        completed = CompletedAction(
+            flow_mod=flow_mod,
+            result=result,
+            submit_time=at_time,
+            start_time=start,
+            finish_time=finish,
+        )
+        self._history.append(completed)
+        self.stats.record(completed)
+        return completed
+
+    def submit_batch(
+        self, flow_mods: Sequence[FlowMod], at_time: float = 0.0
+    ) -> List[CompletedAction]:
+        """Submit a batch arriving together at ``at_time``.
+
+        The installer may reorder or rewrite the batch (ESPRES / Tango);
+        results are timed serially in the installer's execution order.
+        """
+        self.stats.background_time += self.installer.advance_time(at_time)
+        start = max(at_time, self._busy_until)
+        completed_actions: List[CompletedAction] = []
+        results = self.installer.apply_batch(flow_mods)
+        cursor = start
+        for flow_mod, result in zip(flow_mods, results):
+            finish = cursor + result.latency
+            completed = CompletedAction(
+                flow_mod=flow_mod,
+                result=result,
+                submit_time=at_time,
+                start_time=cursor,
+                finish_time=finish,
+            )
+            completed_actions.append(completed)
+            self.stats.record(completed)
+            cursor = finish
+        self._busy_until = cursor
+        self._history.extend(completed_actions)
+        return completed_actions
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        """Data-plane lookup delegated to the installer."""
+        return self.installer.lookup(key)
+
+    def __repr__(self) -> str:
+        return (
+            f"SwitchAgent({self.name!r}, actions={self.stats.actions}, "
+            f"busy_until={self._busy_until:.6f})"
+        )

@@ -1,0 +1,150 @@
+"""The rule-installer abstraction and the naive monolithic installer.
+
+Everything that can sit between the OpenFlow agent and the TCAM — the naive
+direct path, Hermes, Tango, ESPRES, ShadowSwitch — implements
+:class:`RuleInstaller`.  The simulator and the experiments treat installers
+interchangeably, which is what lets us A/B the systems the paper compares.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, List, Optional, Sequence
+
+from ..tcam.rule import Rule
+from ..tcam.table import TcamTable
+from ..tcam.timing import EmpiricalTimingModel, InsertOrder
+from .messages import FlowMod, FlowModCommand, FlowModResult
+
+
+class RuleInstaller(abc.ABC):
+    """Interface between the switch agent and a TCAM-management scheme."""
+
+    @abc.abstractmethod
+    def apply(self, flow_mod: FlowMod) -> FlowModResult:
+        """Apply one FlowMod, returning the control-plane latency it cost."""
+
+    def apply_batch(self, flow_mods: Sequence[FlowMod]) -> List[FlowModResult]:
+        """Apply a batch of FlowMods.
+
+        The default applies them in arrival order; schemes that reorder or
+        rewrite batches (ESPRES, Tango) override this.
+        """
+        return [self.apply(flow_mod) for flow_mod in flow_mods]
+
+    @abc.abstractmethod
+    def lookup(self, key: int) -> Optional[Rule]:
+        """Data-plane lookup through this installer's table organization."""
+
+    @abc.abstractmethod
+    def occupancy(self) -> int:
+        """Total rules physically installed."""
+
+    def advance_time(self, now: float) -> float:
+        """Notify the installer of simulation time; returns background work
+        time consumed since the previous call (0 for passive installers).
+
+        Hermes overrides this to run its Rule Manager (prediction +
+        migration) between control-plane actions.
+        """
+        return 0.0
+
+    def prefill(self, rules: Iterable[Rule]) -> None:
+        """Pre-install background rules before measurement starts.
+
+        Production switches are never empty — routing entries and ACLs
+        occupy the table, and Table 1 shows occupancy is what makes inserts
+        slow.  Prefill installs rules without charging simulated time.
+        Schemes with multi-level storage override this to place the rules
+        in their steady-state home (Hermes: the main table).
+        """
+        for rule in rules:
+            self.apply(FlowMod.add(rule))
+
+    def lookup_semantics_equal(self, other: "RuleInstaller", keys: Iterable[int]) -> bool:
+        """True when both installers forward every probed key identically.
+
+        Rule ids differ across installers (partitioning creates fragments),
+        so equality is judged on the *action* applied to each key — the
+        paper's correctness criterion ("behave in an identical manner as a
+        single monolithic table").
+        """
+        for key in keys:
+            mine = self.lookup(key)
+            theirs = other.lookup(key)
+            mine_action = None if mine is None else mine.action
+            theirs_action = None if theirs is None else theirs.action
+            if mine_action != theirs_action:
+                return False
+        return True
+
+
+class DirectInstaller(RuleInstaller):
+    """The baseline: every FlowMod goes straight at one monolithic table.
+
+    This models an unmodified commodity switch — the "Pica8 P-3290" /
+    "Dell 8132F" / "HP 5406zl" lines in the paper's figures.
+    """
+
+    def __init__(
+        self,
+        timing: EmpiricalTimingModel,
+        capacity: Optional[int] = None,
+        rng=None,
+        order: InsertOrder = InsertOrder.RANDOM,
+    ) -> None:
+        """Create a monolithic installer.
+
+        Args:
+            timing: the switch's TCAM timing model.
+            capacity: flow-table size; defaults to the model's capacity.
+            rng: optional generator enabling latency noise.
+            order: priority ordering assumed for latency scaling.
+        """
+        self.table = TcamTable(timing, capacity=capacity, name="monolithic", rng=rng)
+        self.order = order
+
+    def apply(self, flow_mod: FlowMod) -> FlowModResult:
+        """Apply one FlowMod directly to the monolithic table."""
+        if flow_mod.command is FlowModCommand.ADD:
+            result = self.table.insert(flow_mod.rule, order=self.order)
+            return FlowModResult(
+                latency=result.latency,
+                installed_rule_ids=(flow_mod.rule.rule_id,),
+            )
+        if flow_mod.command is FlowModCommand.DELETE:
+            result = self.table.delete(flow_mod.rule_id)
+            return FlowModResult(latency=result.latency)
+        # MODIFY: in-place unless the priority changes, in which case the
+        # paper converts it into delete + insert (Section 4.1).
+        if flow_mod.changes_priority:
+            old = self.table.get(flow_mod.rule_id)
+            delete_latency = self.table.delete(flow_mod.rule_id).latency
+            replacement = Rule(
+                match=flow_mod.new_match if flow_mod.new_match is not None else old.match,
+                priority=flow_mod.new_priority,
+                action=(
+                    flow_mod.new_action if flow_mod.new_action is not None else old.action
+                ),
+                rule_id=old.rule_id,
+                origin_id=old.origin_id,
+            )
+            insert_result = self.table.insert(replacement, order=self.order)
+            return FlowModResult(
+                latency=delete_latency + insert_result.latency,
+                installed_rule_ids=(replacement.rule_id,),
+            )
+        result = self.table.modify(
+            flow_mod.rule_id, action=flow_mod.new_action, match=flow_mod.new_match
+        )
+        return FlowModResult(
+            latency=result.latency, installed_rule_ids=(flow_mod.rule_id,)
+        )
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        """Single-table lookup."""
+        return self.table.lookup(key)
+
+    def occupancy(self) -> int:
+        """Rules installed in the monolithic table."""
+        return self.table.occupancy

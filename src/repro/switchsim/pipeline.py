@@ -1,0 +1,113 @@
+"""Multi-table lookup pipeline.
+
+Section 3 of the paper: Hermes preserves the single-logical-table abstraction
+by chaining physical tables — a packet first probes the shadow table, and the
+shadow's table-miss behaviour is configured to "forward to next table" (the
+main table).  Section 6 generalizes this to switches with multiple logical
+TCAM tables, each carved into its own shadow/main pair, with the *main*
+table keeping the original pipeline's miss behaviour (goto-next / controller
+/ drop).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Protocol, Sequence
+
+from ..tcam.rule import Rule
+
+
+class MissBehavior(enum.Enum):
+    """What a table does with a packet that matches none of its rules."""
+
+    GOTO_NEXT = "goto-next"
+    TO_CONTROLLER = "to-controller"
+    DROP = "drop"
+
+
+class LookupTable(Protocol):
+    """Anything probe-able by the pipeline (TcamTable, installers, Hermes)."""
+
+    def lookup(self, key: int) -> Optional[Rule]:
+        """Return the highest-priority matching rule, or None on a miss."""
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One stage of the pipeline: a table plus its miss behaviour."""
+
+    name: str
+    table: LookupTable
+    on_miss: MissBehavior = MissBehavior.GOTO_NEXT
+
+
+@dataclass(frozen=True)
+class PipelineVerdict:
+    """The pipeline's decision for one packet.
+
+    Attributes:
+        rule: the matching rule, or None when no stage matched.
+        stage: name of the stage that decided the packet's fate.
+        punted: True when the packet goes to the controller.
+        dropped: True when the packet is discarded.
+    """
+
+    rule: Optional[Rule]
+    stage: Optional[str]
+    punted: bool = False
+    dropped: bool = False
+
+    @property
+    def matched(self) -> bool:
+        """True when some rule processed the packet."""
+        return self.rule is not None
+
+
+class Pipeline:
+    """An ordered chain of lookup tables with per-stage miss behaviour."""
+
+    def __init__(self, stages: Sequence[PipelineStage]) -> None:
+        """Build a pipeline; stage names must be unique.
+
+        Raises:
+            ValueError: on an empty pipeline or duplicate stage names.
+        """
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [stage.name for stage in stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        self.stages: List[PipelineStage] = list(stages)
+
+    def stage(self, name: str) -> PipelineStage:
+        """Return the stage with the given name.
+
+        Raises:
+            KeyError: when no stage has that name.
+        """
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no pipeline stage named {name!r}")
+
+    def process(self, key: int) -> PipelineVerdict:
+        """Run one packet through the pipeline.
+
+        The packet traverses stages in order.  A match terminates processing
+        (Hermes's "stop matching after the packet matches a rule in the
+        shadow table"); a miss follows the stage's miss behaviour.
+        """
+        last_stage: Optional[str] = None
+        for stage in self.stages:
+            last_stage = stage.name
+            rule = stage.table.lookup(key)
+            if rule is not None:
+                return PipelineVerdict(rule=rule, stage=stage.name)
+            if stage.on_miss is MissBehavior.TO_CONTROLLER:
+                return PipelineVerdict(rule=None, stage=stage.name, punted=True)
+            if stage.on_miss is MissBehavior.DROP:
+                return PipelineVerdict(rule=None, stage=stage.name, dropped=True)
+            # GOTO_NEXT falls through to the next stage.
+        # Fell off the end of the pipeline: treated as a drop.
+        return PipelineVerdict(rule=None, stage=last_stage, dropped=True)

@@ -1,0 +1,109 @@
+"""TCAM rule representation.
+
+A rule couples a ternary match with a priority and a forwarding action.  The
+partitioner additionally needs to know a rule's lineage — which original
+logical rule a shadow-table fragment was cut from — so rules carry a stable
+``rule_id`` and fragments record their ``origin_id``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .prefix import Prefix
+from .ternary import TernaryMatch
+
+_rule_counter = itertools.count(1)
+
+
+def _next_rule_id() -> int:
+    return next(_rule_counter)
+
+
+@dataclass(frozen=True)
+class Action:
+    """A forwarding action: output port, drop, or send to controller."""
+
+    kind: str = "output"  # "output" | "drop" | "controller"
+    port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("output", "drop", "controller"):
+            raise ValueError(f"unknown action kind {self.kind!r}")
+        if self.kind == "output" and self.port is None:
+            raise ValueError("output actions require a port")
+
+    @classmethod
+    def output(cls, port: int) -> "Action":
+        """Forward matching packets out of ``port``."""
+        return cls("output", port)
+
+    @classmethod
+    def drop(cls) -> "Action":
+        """Silently discard matching packets."""
+        return cls("drop")
+
+    @classmethod
+    def to_controller(cls) -> "Action":
+        """Punt matching packets to the SDN controller."""
+        return cls("controller")
+
+    def __str__(self) -> str:
+        if self.kind == "output":
+            return f"output:{self.port}"
+        return self.kind
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A TCAM rule: ternary match + priority + action.
+
+    Higher ``priority`` wins.  ``rule_id`` identifies the rule across tables;
+    ``origin_id`` is set on fragments produced by the partitioner and points
+    at the logical rule they were cut from (``None`` for unfragmented rules).
+    """
+
+    match: TernaryMatch
+    priority: int
+    action: Action
+    rule_id: int = field(default_factory=_next_rule_id)
+    origin_id: Optional[int] = None
+
+    @classmethod
+    def from_prefix(
+        cls,
+        prefix: "Prefix | str",
+        priority: int,
+        action: Action,
+        **kwargs,
+    ) -> "Rule":
+        """Build a rule from an IPv4 prefix (object or ``"a.b.c.d/len"``)."""
+        if isinstance(prefix, str):
+            prefix = Prefix.from_string(prefix)
+        return cls(TernaryMatch.from_prefix(prefix), priority, action, **kwargs)
+
+    def overlaps(self, other: "Rule") -> bool:
+        """Return True when some packet could match both rules."""
+        return self.match.overlaps(other.match)
+
+    def shadows(self, other: "Rule") -> bool:
+        """Return True when this rule takes precedence over an overlapping ``other``."""
+        return self.priority > other.priority and self.overlaps(other)
+
+    def with_match(self, match: TernaryMatch) -> "Rule":
+        """Return a fragment of this rule with a narrower match.
+
+        The fragment keeps the action and priority but gets a fresh
+        ``rule_id`` and records this rule as its origin.
+        """
+        origin = self.origin_id if self.origin_id is not None else self.rule_id
+        return replace(self, match=match, rule_id=_next_rule_id(), origin_id=origin)
+
+    def with_priority(self, priority: int) -> "Rule":
+        """Return a copy of this rule at a different priority (same identity)."""
+        return replace(self, priority=priority)
+
+    def __str__(self) -> str:
+        return f"Rule#{self.rule_id}({self.match}, prio={self.priority}, {self.action})"

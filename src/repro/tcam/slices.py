@@ -1,0 +1,168 @@
+"""TCAM carving (slicing).
+
+Commercial switches let operators subdivide a physical TCAM into logically
+disjoint *slices* (Cisco "TCAM carving", Broadcom SDK groups — Section 6 of
+the paper).  Each slice has its own size and key and can be targeted
+independently by insert/delete/modify; lookups run across all slices in
+parallel with conflicts resolved by pre-configured slice priorities.
+
+Hermes is implemented on top of carving: the shadow table is a small slice
+and the main table a large slice of the same physical TCAM, with the shadow
+slice at higher lookup priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .rule import Rule
+from .table import TcamTable
+from .timing import EmpiricalTimingModel
+
+
+@dataclass(frozen=True)
+class SliceConfig:
+    """Configuration of one TCAM slice.
+
+    Attributes:
+        name: slice label (e.g. ``"shadow"``, ``"main"``).
+        capacity: number of entries carved out for this slice.
+        lookup_priority: slices with larger values win cross-slice conflicts.
+    """
+
+    name: str
+    capacity: int
+    lookup_priority: int
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"slice {self.name!r} needs positive capacity")
+
+
+class CarvedTcam:
+    """A physical TCAM carved into named slices.
+
+    Every slice behaves as an independent :class:`TcamTable` whose insertion
+    cost depends on the *slice's own occupancy* — the property Hermes
+    exploits: a small, mostly-empty shadow slice has bounded insert latency
+    regardless of how full the main slice is.
+    """
+
+    def __init__(
+        self,
+        timing: EmpiricalTimingModel,
+        configs: Sequence[SliceConfig],
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        """Carve ``timing.capacity`` entries into the given slices.
+
+        Raises:
+            ValueError: when slice names collide or the carve exceeds the
+                physical capacity.
+        """
+        names = [config.name for config in configs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slice names: {names}")
+        total = sum(config.capacity for config in configs)
+        if total > timing.capacity:
+            raise ValueError(
+                f"carve of {total} entries exceeds physical capacity {timing.capacity}"
+            )
+        self.timing = timing
+        self._configs: Dict[str, SliceConfig] = {c.name: c for c in configs}
+        self._slices: Dict[str, TcamTable] = {
+            config.name: TcamTable(
+                timing, capacity=config.capacity, name=config.name, rng=rng
+            )
+            for config in configs
+        }
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def slice(self, name: str) -> TcamTable:
+        """Return the slice with the given name.
+
+        Raises:
+            KeyError: when no such slice was carved.
+        """
+        return self._slices[name]
+
+    def slice_names(self) -> List[str]:
+        """Slice names in descending lookup-priority order."""
+        return sorted(
+            self._configs, key=lambda name: -self._configs[name].lookup_priority
+        )
+
+    def recarve(self, name: str, capacity: int) -> None:
+        """Resize one slice in place (operator reconfiguration, Section 7).
+
+        Raises:
+            KeyError: when no such slice exists.
+            ValueError: when the new total exceeds the physical capacity or
+                the slice currently holds more rules than the new size.
+        """
+        if name not in self._slices:
+            raise KeyError(f"no slice named {name!r}")
+        if capacity <= 0:
+            raise ValueError(f"slice {name!r} needs positive capacity")
+        new_total = (
+            self.total_capacity - self._configs[name].capacity + capacity
+        )
+        if new_total > self.timing.capacity:
+            raise ValueError(
+                f"recarve to {new_total} entries exceeds physical capacity "
+                f"{self.timing.capacity}"
+            )
+        table = self._slices[name]
+        if table.occupancy > capacity:
+            raise ValueError(
+                f"slice {name!r} holds {table.occupancy} rules; cannot shrink "
+                f"to {capacity}"
+            )
+        old = self._configs[name]
+        self._configs[name] = SliceConfig(old.name, capacity, old.lookup_priority)
+        table.capacity = capacity
+
+    @property
+    def total_capacity(self) -> int:
+        """Sum of all carved slice capacities."""
+        return sum(config.capacity for config in self._configs.values())
+
+    @property
+    def total_occupancy(self) -> int:
+        """Total rules installed across all slices."""
+        return sum(table.occupancy for table in self._slices.values())
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def lookup(self, key: int) -> Optional[Tuple[str, Rule]]:
+        """Parallel lookup across slices; the hardware resolves conflicts.
+
+        Each slice returns at most one match; the match from the slice with
+        the highest ``lookup_priority`` wins.  Returns ``(slice_name, rule)``
+        or ``None`` on a full miss.
+        """
+        for name in self.slice_names():
+            rule = self._slices[name].lookup(key)
+            if rule is not None:
+                return name, rule
+        return None
+
+    def find_rule(self, rule_id: int) -> Optional[Tuple[str, Rule]]:
+        """Locate a rule by id across slices; returns (slice_name, rule) or None."""
+        for name, table in self._slices.items():
+            if rule_id in table:
+                return name, table.get(rule_id)
+        return None
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}={table.occupancy}/{table.capacity}"
+            for name, table in self._slices.items()
+        )
+        return f"CarvedTcam({self.timing.name!r}: {parts})"

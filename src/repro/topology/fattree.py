@@ -1,0 +1,121 @@
+"""Fat-tree data-center topology [Al-Fares et al., SIGCOMM'08].
+
+The paper's data-center experiments run on a k=16 fat tree with 1024 servers
+and 40 Gbps links (Section 8.1.3).  A k-ary fat tree has k pods, each with
+k/2 edge and k/2 aggregation switches; (k/2)^2 core switches; and (k/2)^2
+hosts per pod — k^3/4 hosts total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class FatTreeSpec:
+    """Parameters of a fat-tree build.
+
+    Attributes:
+        k: pod count (must be even); k=16 gives the paper's 1024 hosts.
+        link_capacity: capacity of every link in bits/second (40 Gbps
+            default per the paper).
+    """
+
+    k: int = 16
+    link_capacity: float = 40e9
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2 != 0:
+            raise ValueError(f"fat-tree k must be even and >= 2, got {self.k}")
+
+    @property
+    def host_count(self) -> int:
+        """Total servers: k^3 / 4."""
+        return self.k**3 // 4
+
+    @property
+    def switch_count(self) -> int:
+        """Total switches: 5k^2/4."""
+        return 5 * self.k**2 // 4
+
+
+def core_name(index: int) -> str:
+    """Name of the ``index``-th core switch."""
+    return f"core-{index}"
+
+
+def agg_name(pod: int, index: int) -> str:
+    """Name of aggregation switch ``index`` in ``pod``."""
+    return f"agg-{pod}-{index}"
+
+
+def edge_name(pod: int, index: int) -> str:
+    """Name of edge (ToR) switch ``index`` in ``pod``."""
+    return f"edge-{pod}-{index}"
+
+
+def host_name(pod: int, edge: int, index: int) -> str:
+    """Name of host ``index`` under edge switch ``edge`` in ``pod``."""
+    return f"host-{pod}-{edge}-{index}"
+
+
+def build_fat_tree(spec: FatTreeSpec = FatTreeSpec()) -> nx.Graph:
+    """Build the fat-tree graph.
+
+    Nodes carry a ``kind`` attribute (``host`` / ``edge`` / ``agg`` /
+    ``core``); edges carry ``capacity`` in bits/second.
+    """
+    k = spec.k
+    half = k // 2
+    graph = nx.Graph(name=f"fat-tree-k{k}")
+
+    for core in range(half * half):
+        graph.add_node(core_name(core), kind="core")
+    for pod in range(k):
+        for index in range(half):
+            graph.add_node(agg_name(pod, index), kind="agg", pod=pod)
+            graph.add_node(edge_name(pod, index), kind="edge", pod=pod)
+        # Aggregation <-> core: agg switch i connects to cores
+        # [i*half, (i+1)*half).
+        for agg_index in range(half):
+            for port in range(half):
+                core_index = agg_index * half + port
+                graph.add_edge(
+                    agg_name(pod, agg_index),
+                    core_name(core_index),
+                    capacity=spec.link_capacity,
+                )
+        # Edge <-> aggregation: full bipartite within the pod.
+        for edge_index in range(half):
+            for agg_index in range(half):
+                graph.add_edge(
+                    edge_name(pod, edge_index),
+                    agg_name(pod, agg_index),
+                    capacity=spec.link_capacity,
+                )
+        # Hosts under each edge switch.
+        for edge_index in range(half):
+            for host_index in range(half):
+                name = host_name(pod, edge_index, host_index)
+                graph.add_node(name, kind="host", pod=pod)
+                graph.add_edge(
+                    name, edge_name(pod, edge_index), capacity=spec.link_capacity
+                )
+    return graph
+
+
+def hosts(graph: nx.Graph) -> List[str]:
+    """All host names, sorted for reproducibility."""
+    return sorted(
+        node for node, data in graph.nodes(data=True) if data.get("kind") == "host"
+    )
+
+
+def switches(graph: nx.Graph) -> List[str]:
+    """All switch names (everything that is not a host), sorted."""
+    return sorted(
+        node for node, data in graph.nodes(data=True) if data.get("kind") != "host"
+    )

@@ -1,0 +1,122 @@
+"""ISP topologies: Abilene, Geant, and Quest.
+
+The paper evaluates on the Internet2/Abilene backbone (11 PoPs), the GEANT
+European research network, and the Quest topology from the Internet Topology
+Zoo (Section 8.1.3).  The node/edge lists are embedded here (the Zoo's
+GraphML archive is not redistributable in this offline reproduction; the
+embedded lists match the published maps' node counts and connectivity
+structure — this substitution is recorded in DESIGN.md).
+
+Link capacities default to the networks' historical line rates: OC-192
+(10 Gbps) for Abilene and 10 Gbps for GEANT's core, 1 Gbps for Quest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+# (name, links) — Abilene, the Internet2 backbone c. 2004: 11 PoPs, 14 links.
+_ABILENE_LINKS: List[Tuple[str, str]] = [
+    ("SEATTLE", "SUNNYVALE"),
+    ("SEATTLE", "DENVER"),
+    ("SUNNYVALE", "LOSANGELES"),
+    ("SUNNYVALE", "DENVER"),
+    ("LOSANGELES", "HOUSTON"),
+    ("DENVER", "KANSASCITY"),
+    ("KANSASCITY", "HOUSTON"),
+    ("KANSASCITY", "INDIANAPOLIS"),
+    ("HOUSTON", "ATLANTA"),
+    ("INDIANAPOLIS", "CHICAGO"),
+    ("INDIANAPOLIS", "ATLANTA"),
+    ("CHICAGO", "NEWYORK"),
+    ("ATLANTA", "WASHINGTON"),
+    ("NEWYORK", "WASHINGTON"),
+]
+
+# GEANT, the pan-European research backbone (24 PoPs, 37 links; the 2004-era
+# map the tomo-gravity literature uses).
+_GEANT_LINKS: List[Tuple[str, str]] = [
+    ("UK", "FR"), ("UK", "NL"), ("UK", "IE"), ("UK", "BE"),
+    ("FR", "ES"), ("FR", "CH"), ("FR", "LU"), ("FR", "DE"),
+    ("NL", "DE"), ("NL", "BE"), ("IE", "NL"),
+    ("ES", "PT"), ("ES", "IT"), ("PT", "UK"),
+    ("CH", "IT"), ("CH", "DE"), ("CH", "AT"),
+    ("DE", "AT"), ("DE", "SE"), ("DE", "PL"), ("DE", "CZ"),
+    ("IT", "GR"), ("IT", "AT"),
+    ("AT", "HU"), ("AT", "SI"), ("AT", "CZ"), ("AT", "SK"),
+    ("SE", "NO"), ("SE", "FI"), ("SE", "DK"), ("DK", "NO"), ("DK", "DE"),
+    ("PL", "CZ"), ("HU", "SK"), ("HU", "HR"), ("SI", "HR"), ("GR", "CY"),
+]
+
+# Quest (Topology Zoo): a 21-node research/education network.
+_QUEST_LINKS: List[Tuple[str, str]] = [
+    ("EDMONTON", "CALGARY"),
+    ("CALGARY", "KAMLOOPS"),
+    ("KAMLOOPS", "VANCOUVER"),
+    ("VANCOUVER", "VICTORIA"),
+    ("EDMONTON", "SASKATOON"),
+    ("SASKATOON", "REGINA"),
+    ("REGINA", "WINNIPEG"),
+    ("WINNIPEG", "THUNDERBAY"),
+    ("THUNDERBAY", "SUDBURY"),
+    ("SUDBURY", "TORONTO"),
+    ("TORONTO", "OTTAWA"),
+    ("OTTAWA", "MONTREAL"),
+    ("MONTREAL", "QUEBECCITY"),
+    ("QUEBECCITY", "FREDERICTON"),
+    ("FREDERICTON", "HALIFAX"),
+    ("HALIFAX", "CHARLOTTETOWN"),
+    ("CHARLOTTETOWN", "STJOHNS"),
+    ("TORONTO", "HAMILTON"),
+    ("HAMILTON", "LONDONONT"),
+    ("LONDONONT", "WINDSOR"),
+    ("WINDSOR", "TORONTO"),
+    ("MONTREAL", "TORONTO"),
+    ("EDMONTON", "WINNIPEG"),
+]
+
+
+def _build(name: str, links: List[Tuple[str, str]], capacity: float) -> nx.Graph:
+    graph = nx.Graph(name=name)
+    for left, right in links:
+        graph.add_edge(left, right, capacity=capacity)
+    for node in graph.nodes:
+        graph.nodes[node]["kind"] = "pop"
+    return graph
+
+
+def abilene(link_capacity: float = 10e9) -> nx.Graph:
+    """The Internet2/Abilene backbone: 11 PoPs, 14 OC-192 links."""
+    return _build("abilene", _ABILENE_LINKS, link_capacity)
+
+
+def geant(link_capacity: float = 10e9) -> nx.Graph:
+    """The GEANT European research backbone: 24 PoPs, 37 links."""
+    return _build("geant", _GEANT_LINKS, link_capacity)
+
+
+def quest(link_capacity: float = 1e9) -> nx.Graph:
+    """The Quest topology (Topology Zoo): 21 PoPs."""
+    return _build("quest", _QUEST_LINKS, link_capacity)
+
+
+_TOPOLOGIES = {"abilene": abilene, "geant": geant, "quest": quest}
+
+ISP_TOPOLOGY_NAMES = tuple(sorted(_TOPOLOGIES))
+
+
+def get_isp_topology(name: str, **kwargs) -> nx.Graph:
+    """Look up an ISP topology by name (``abilene``/``geant``/``quest``)."""
+    try:
+        return _TOPOLOGIES[name.strip().lower()](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; known: {', '.join(ISP_TOPOLOGY_NAMES)}"
+        ) from None
+
+
+def pops(graph: nx.Graph) -> List[str]:
+    """All PoP names, sorted for reproducibility."""
+    return sorted(graph.nodes)

@@ -1,0 +1,51 @@
+"""Workload generators: traffic matrices, flows, MapReduce jobs, microbench."""
+
+from .facebook import (
+    SHORT_JOB_BYTES,
+    flows_of,
+    generate_jobs,
+    is_short_job,
+    sample_job_size,
+    task_counts_for,
+)
+from .flows import FlowSpec, JobSpec, flows_from_matrix
+from .matrices import (
+    TrafficMatrix,
+    gravity_matrix,
+    link_loads_from_matrix,
+    matrix_total,
+    routing_matrix,
+    scale_matrix,
+    tomogravity_matrix,
+)
+from .microbench import (
+    MicrobenchConfig,
+    PriorityMode,
+    TimedFlowMod,
+    generate_trace,
+    seed_rules,
+)
+
+__all__ = [
+    "FlowSpec",
+    "JobSpec",
+    "MicrobenchConfig",
+    "PriorityMode",
+    "SHORT_JOB_BYTES",
+    "TimedFlowMod",
+    "TrafficMatrix",
+    "flows_from_matrix",
+    "flows_of",
+    "generate_jobs",
+    "generate_trace",
+    "gravity_matrix",
+    "is_short_job",
+    "link_loads_from_matrix",
+    "matrix_total",
+    "routing_matrix",
+    "sample_job_size",
+    "scale_matrix",
+    "seed_rules",
+    "task_counts_for",
+    "tomogravity_matrix",
+]

@@ -1,0 +1,134 @@
+"""Traffic matrices: gravity and tomo-gravity models.
+
+The paper synthesizes ISP traffic matrices with the tomo-gravity model of
+Zhang et al. [65] (Section 8.1.3): a *gravity* prior — traffic between two
+PoPs proportional to the product of their total volumes — refined by a
+least-squares fit against observed link loads (the "tomographic" step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+TrafficMatrix = Dict[Tuple[str, str], float]
+
+
+def gravity_matrix(
+    nodes: List[str],
+    total_traffic: float,
+    weights: Optional[Dict[str, float]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TrafficMatrix:
+    """Build a gravity-model traffic matrix.
+
+    Args:
+        nodes: the PoPs.
+        total_traffic: the matrix's total volume (bits/second).
+        weights: per-PoP attraction weight; sampled log-normally (the
+            empirically observed PoP-size distribution) when omitted.
+        rng: generator used when sampling weights.
+
+    Returns:
+        A dense matrix keyed by (source, destination), zero on the diagonal,
+        summing to ``total_traffic``.
+    """
+    if total_traffic < 0:
+        raise ValueError(f"total_traffic cannot be negative: {total_traffic}")
+    if len(nodes) < 2:
+        raise ValueError("a traffic matrix needs at least two nodes")
+    if weights is None:
+        generator = rng if rng is not None else np.random.default_rng(0)
+        weights = {node: float(generator.lognormal(0.0, 1.0)) for node in nodes}
+    weight_sum = sum(weights[node] for node in nodes)
+    if weight_sum <= 0:
+        raise ValueError("weights must sum to a positive value")
+    matrix: TrafficMatrix = {}
+    normalizer = 0.0
+    for source in nodes:
+        for destination in nodes:
+            if source == destination:
+                continue
+            share = weights[source] * weights[destination]
+            matrix[(source, destination)] = share
+            normalizer += share
+    scale = total_traffic / normalizer if normalizer > 0 else 0.0
+    return {pair: volume * scale for pair, volume in matrix.items()}
+
+
+def routing_matrix(
+    graph: nx.Graph, pairs: List[Tuple[str, str]]
+) -> Tuple[np.ndarray, List[Tuple[str, str]]]:
+    """Build the 0/1 link-over-OD-pair routing matrix A (shortest paths).
+
+    Returns (A, links) where A[l, p] is 1 when pair p's shortest path uses
+    link l.  Used by the tomo-gravity estimator: link loads y = A @ x.
+    """
+    links = [tuple(sorted(edge)) for edge in graph.edges]
+    link_index = {link: index for index, link in enumerate(links)}
+    matrix = np.zeros((len(links), len(pairs)))
+    for pair_index, (source, destination) in enumerate(pairs):
+        path = nx.shortest_path(graph, source, destination)
+        for left, right in zip(path, path[1:]):
+            matrix[link_index[tuple(sorted((left, right)))], pair_index] = 1.0
+    return matrix, links
+
+
+def link_loads_from_matrix(graph: nx.Graph, matrix: TrafficMatrix) -> Dict[Tuple[str, str], float]:
+    """Route a TM over shortest paths and accumulate per-link loads."""
+    pairs = list(matrix)
+    routing, links = routing_matrix(graph, pairs)
+    demands = np.array([matrix[pair] for pair in pairs])
+    loads = routing @ demands
+    return {link: float(load) for link, load in zip(links, loads)}
+
+
+def tomogravity_matrix(
+    graph: nx.Graph,
+    link_loads: Dict[Tuple[str, str], float],
+    total_traffic: Optional[float] = None,
+    regularization: float = 0.01,
+) -> TrafficMatrix:
+    """Estimate a TM from link loads with the tomo-gravity method [65].
+
+    Solves ``min ||A x - y||^2 + lambda ||x - g||^2`` where ``g`` is the
+    gravity prior scaled to the observed total, then clips negatives.
+
+    Args:
+        graph: the topology whose links were measured.
+        link_loads: observed load per (canonically ordered) link.
+        total_traffic: total volume for the gravity prior; inferred from
+            the link loads when omitted.
+        regularization: weight pulling the solution toward the prior.
+    """
+    nodes = sorted(graph.nodes)
+    pairs = [(s, d) for s in nodes for d in nodes if s != d]
+    routing, links = routing_matrix(graph, pairs)
+    observed = np.array([link_loads.get(link, 0.0) for link in links])
+    if total_traffic is None:
+        # Average path length relates total link load to total traffic.
+        mean_hops = max(1.0, routing.sum() / len(pairs))
+        total_traffic = float(observed.sum() / mean_hops)
+    prior_matrix = gravity_matrix(nodes, total_traffic)
+    prior = np.array([prior_matrix[pair] for pair in pairs])
+    # Stacked least squares: [A; sqrt(l) I] x ~= [y; sqrt(l) g].
+    weight = np.sqrt(regularization)
+    design = np.vstack([routing, weight * np.eye(len(pairs))])
+    target = np.concatenate([observed, weight * prior])
+    solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+    solution = np.clip(solution, 0.0, None)
+    return {pair: float(volume) for pair, volume in zip(pairs, solution)}
+
+
+def scale_matrix(matrix: TrafficMatrix, factor: float) -> TrafficMatrix:
+    """Uniformly scale a TM (utilization sweeps)."""
+    if factor < 0:
+        raise ValueError(f"scale factor cannot be negative: {factor}")
+    return {pair: volume * factor for pair, volume in matrix.items()}
+
+
+def matrix_total(matrix: TrafficMatrix) -> float:
+    """Total volume of a TM."""
+    return float(sum(matrix.values()))

@@ -1,0 +1,158 @@
+"""MicroBench rule-insertion traces (Section 8.1.3).
+
+"For microbenchmarks, we generated a stream of rule insertions in a
+systematic manner, varying ... the arrival rate (to understand the impact of
+bursts), overlap rate (to understand the impact of partitioning), and
+priorities (to understand the impact of TCAM moving/rearrangement)."
+
+A trace is a time-stamped stream of ADD FlowMods against one switch.  The
+*overlap rate* is realized against a pre-seeded set of high-priority rules:
+with probability ``overlap_rate`` a generated rule is a lower-priority
+super-prefix of one (or, at 100%, a wildcard-like cover of many) seed rules,
+forcing Hermes's partitioner to cut it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..switchsim.messages import FlowMod
+from ..tcam.prefix import Prefix
+from ..tcam.rule import Action, Rule
+
+
+class PriorityMode(enum.Enum):
+    """How the trace assigns priorities (the "priorities" dimension)."""
+
+    ASCENDING = "ascending"
+    DESCENDING = "descending"
+    RANDOM = "random"
+    UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class MicrobenchConfig:
+    """Parameters of one microbench trace.
+
+    Attributes:
+        arrival_rate: rule insertions per second.
+        overlap_rate: fraction in [0, 1] of rules that overlap seeded
+            higher-priority rules (1.0 reproduces the paper's "100% overlap"
+            — every new rule overlaps resident rules).
+        priority_mode: priority assignment pattern.
+        duration: trace length in seconds.
+        seed_rules: high-priority rules pre-installed before the trace.
+        seed: RNG seed for reproducibility.
+    """
+
+    arrival_rate: float = 1000.0
+    overlap_rate: float = 0.0
+    priority_mode: PriorityMode = PriorityMode.RANDOM
+    duration: float = 1.0
+    seed_rules: int = 64
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError(f"arrival_rate must be positive: {self.arrival_rate}")
+        if not 0.0 <= self.overlap_rate <= 1.0:
+            raise ValueError(f"overlap_rate must be in [0, 1]: {self.overlap_rate}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if self.seed_rules < 0:
+            raise ValueError(f"seed_rules cannot be negative: {self.seed_rules}")
+
+
+@dataclass(frozen=True)
+class TimedFlowMod:
+    """A FlowMod with its arrival time."""
+
+    time: float
+    flow_mod: FlowMod
+
+
+def seed_rules(config: MicrobenchConfig) -> List[Rule]:
+    """The high-priority /24 rules pre-installed before the trace runs.
+
+    Seeds live inside 172.16.0.0/12 so that fresh (non-overlapping) trace
+    rules, which are drawn from 10.0.0.0/8, never collide with them.  They
+    are spaced eight /24s apart so that a /21-/23 super-prefix overlaps
+    exactly one seed — cutting it yields fragments instead of consuming
+    the whole rule.
+    """
+    rules = []
+    for index in range(config.seed_rules):
+        slot = index * 8
+        third = slot % 256
+        second = 16 + (slot // 256) % 16
+        rules.append(
+            Rule.from_prefix(
+                f"172.{second}.{third}.0/24", 10_000 + index, Action.output(1)
+            )
+        )
+    return rules
+
+
+def generate_trace(config: MicrobenchConfig) -> List[TimedFlowMod]:
+    """Generate the timed ADD stream for one microbench configuration."""
+    rng = np.random.default_rng(config.seed)
+    seeds = seed_rules(config)
+    count = max(1, int(round(config.arrival_rate * config.duration)))
+    interval = 1.0 / config.arrival_rate
+    priorities = _priorities(config, count, rng)
+    trace: List[TimedFlowMod] = []
+    fresh_counter = itertools.count(0)
+    for index in range(count):
+        time = (index + 1) * interval
+        priority = priorities[index]
+        if seeds and rng.random() < config.overlap_rate:
+            rule = _overlapping_rule(seeds, priority, rng)
+        else:
+            rule = _fresh_rule(next(fresh_counter), priority)
+        trace.append(TimedFlowMod(time=time, flow_mod=FlowMod.add(rule)))
+    return trace
+
+
+def _priorities(
+    config: MicrobenchConfig, count: int, rng: np.random.Generator
+) -> List[int]:
+    if config.priority_mode is PriorityMode.ASCENDING:
+        return list(range(1, count + 1))
+    if config.priority_mode is PriorityMode.DESCENDING:
+        return list(range(count, 0, -1))
+    if config.priority_mode is PriorityMode.UNIFORM:
+        return [100] * count
+    return [int(rng.integers(1, 1000)) for _ in range(count)]
+
+
+def _fresh_rule(index: int, priority: int) -> Rule:
+    """A /24 from virgin space (10.0.0.0/8): overlaps nothing seeded."""
+    second = (index // 256) % 256
+    third = index % 256
+    return Rule.from_prefix(
+        f"10.{second}.{third}.0/24", priority, Action.output(2)
+    )
+
+
+def _overlapping_rule(
+    seeds: List[Rule], priority: int, rng: np.random.Generator
+) -> Rule:
+    """A lower-priority super-prefix of a random seed rule.
+
+    Its priority is forced below every seed's, and its prefix (a /21-/23
+    parent of a seed /24) guarantees the partitioner has cutting to do —
+    one to three fragments per rule, the regime where 1000 updates/s sits
+    at the edge of Equation 2's sustainable rate (the paper's stress case).
+    """
+    target = seeds[int(rng.integers(0, len(seeds)))]
+    seed_prefix = target.match.to_prefix()
+    length = int(rng.integers(21, 24))  # /21 .. /23 parents of the /24 seed
+    mask = ((1 << length) - 1) << (32 - length)
+    parent = Prefix(seed_prefix.network & mask, length)
+    low_priority = min(priority, 9_000)  # strictly below every seed priority
+    return Rule.from_prefix(parent, low_priority, Action.output(3))

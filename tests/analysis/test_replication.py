@@ -1,0 +1,78 @@
+"""Tests for the multi-seed replication helpers."""
+
+import pytest
+
+from repro.analysis import SeedSweep, replicate, replicate_many
+
+
+class TestSeedSweep:
+    def test_mean_and_std(self):
+        sweep = SeedSweep(values=(1.0, 2.0, 3.0), seeds=(0, 1, 2))
+        assert sweep.mean == pytest.approx(2.0)
+        assert sweep.std == pytest.approx(1.0)
+
+    def test_single_seed_degenerate(self):
+        sweep = SeedSweep(values=(5.0,), seeds=(0,))
+        assert sweep.std == 0.0
+        assert sweep.confidence_interval() == (5.0, 5.0)
+
+    def test_confidence_interval_contains_mean(self):
+        sweep = SeedSweep(values=(1.0, 2.0, 3.0, 4.0), seeds=(0, 1, 2, 3))
+        low, high = sweep.confidence_interval(0.95)
+        assert low < sweep.mean < high
+
+    def test_wider_level_wider_interval(self):
+        sweep = SeedSweep(values=(1.0, 2.0, 3.0, 4.0), seeds=(0, 1, 2, 3))
+        narrow = sweep.confidence_interval(0.80)
+        wide = sweep.confidence_interval(0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_invalid_level(self):
+        sweep = SeedSweep(values=(1.0, 2.0), seeds=(0, 1))
+        with pytest.raises(ValueError):
+            sweep.confidence_interval(1.0)
+
+    def test_str_mentions_sample_size(self):
+        assert "n=2" in str(SeedSweep(values=(1.0, 2.0), seeds=(0, 1)))
+
+
+class TestReplicate:
+    def test_calls_metric_per_seed(self):
+        sweep = replicate(lambda seed: float(seed * 2), seeds=[1, 2, 3])
+        assert sweep.values == (2.0, 4.0, 6.0)
+        assert sweep.seeds == (1, 2, 3)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: 0.0, seeds=[])
+
+    def test_replicate_many(self):
+        sweeps = replicate_many(
+            lambda seed: {"a": seed, "b": seed * 10}, seeds=[1, 2]
+        )
+        assert sweeps["a"].values == (1.0, 2.0)
+        assert sweeps["b"].values == (10.0, 20.0)
+
+    def test_replicate_many_empty_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_many(lambda seed: {}, seeds=[])
+
+    def test_replication_of_actual_experiment(self):
+        """Replicating a tiny real metric across seeds works end to end."""
+        from repro.tcam import Action, Rule, TcamTable, pica8_p3290
+        import numpy as np
+
+        def metric(seed: int) -> float:
+            table = TcamTable(
+                pica8_p3290(), capacity=32, rng=np.random.default_rng(seed)
+            )
+            latency = 0.0
+            for index in range(8):
+                latency += table.insert(
+                    Rule.from_prefix(f"10.{index}.0.0/16", 50, Action.output(1))
+                ).latency
+            return latency
+
+        sweep = replicate(metric, seeds=range(5))
+        assert sweep.mean > 0
+        assert sweep.std > 0  # lognormal noise differs across seeds

@@ -1,0 +1,20 @@
+"""Shared test configuration.
+
+Hypothesis runs derandomized so the suite is deterministic: property tests
+explore the same example set on every run (CI stability), while still
+covering the full shrink-search space.  Set ``HYPOTHESIS_PROFILE=explore``
+to hunt for new counterexamples with fresh randomness.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("explore", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -1,0 +1,153 @@
+"""Tests for the online slack auto-tuner (Section 8.6 future work)."""
+
+import pytest
+
+from repro.core import (
+    AutoTuneConfig,
+    GuaranteeSpec,
+    HermesConfig,
+    HermesInstaller,
+    SlackAutoTuner,
+    SlackCorrector,
+)
+from repro.switchsim import FlowMod
+from repro.tcam import Action, Rule, pica8_p3290
+
+
+class TestController:
+    def make_tuner(self, **overrides):
+        defaults = dict(
+            initial_slack=0.4,
+            increase_step=0.25,
+            decay_factor=0.9,
+            clean_windows_before_decay=3,
+        )
+        defaults.update(overrides)
+        corrector = SlackCorrector(0.0)
+        return SlackAutoTuner(corrector, AutoTuneConfig(**defaults)), corrector
+
+    def test_initial_slack_applied(self):
+        tuner, corrector = self.make_tuner()
+        assert corrector.slack == pytest.approx(0.4)
+
+    def test_pressure_increases_slack(self):
+        tuner, corrector = self.make_tuner()
+        tuner.observe_window(pressure_events=2)
+        assert corrector.slack == pytest.approx(0.4 + 2 * 0.25)
+
+    def test_slack_clamped_at_max(self):
+        tuner, corrector = self.make_tuner(max_slack=0.5)
+        tuner.observe_window(pressure_events=100)
+        assert corrector.slack == pytest.approx(0.5)
+
+    def test_decay_requires_clean_streak(self):
+        tuner, corrector = self.make_tuner()
+        tuner.observe_window(0)
+        tuner.observe_window(0)
+        assert corrector.slack == pytest.approx(0.4)  # streak not yet long enough
+        tuner.observe_window(0)
+        assert corrector.slack == pytest.approx(0.4 * 0.9)
+
+    def test_pressure_resets_clean_streak(self):
+        tuner, corrector = self.make_tuner()
+        tuner.observe_window(0)
+        tuner.observe_window(0)
+        tuner.observe_window(1)  # resets the streak and bumps slack
+        tuner.observe_window(0)
+        tuner.observe_window(0)
+        assert corrector.slack == pytest.approx(0.65)  # no decay yet
+
+    def test_decay_clamped_at_min(self):
+        tuner, corrector = self.make_tuner(
+            min_slack=0.35, clean_windows_before_decay=1
+        )
+        for _ in range(50):
+            tuner.observe_window(0)
+        assert corrector.slack == pytest.approx(0.35)
+
+    def test_adjustments_recorded(self):
+        tuner, _ = self.make_tuner()
+        tuner.observe_window(1)
+        tuner.observe_window(1)
+        assert len(tuner.adjustments) == 3  # initial + two bumps
+
+    def test_negative_pressure_rejected(self):
+        tuner, _ = self.make_tuner()
+        with pytest.raises(ValueError):
+            tuner.observe_window(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoTuneConfig(initial_slack=5.0, max_slack=1.0)
+        with pytest.raises(ValueError):
+            AutoTuneConfig(increase_step=0.0)
+        with pytest.raises(ValueError):
+            AutoTuneConfig(decay_factor=1.0)
+        with pytest.raises(ValueError):
+            AutoTuneConfig(clean_windows_before_decay=0)
+
+
+class TestHermesIntegration:
+    def test_auto_tune_requires_slack_corrector(self):
+        with pytest.raises(ValueError):
+            HermesInstaller(
+                pica8_p3290(),
+                config=HermesConfig(auto_tune=True, corrector="deadzone"),
+            )
+
+    def test_auto_tune_requires_predictive_trigger(self):
+        with pytest.raises(ValueError):
+            HermesInstaller(
+                pica8_p3290(),
+                config=HermesConfig(auto_tune=True, threshold=0.5),
+            )
+
+    def test_pressure_raises_slack_online(self):
+        hermes = HermesInstaller(
+            pica8_p3290(),
+            config=HermesConfig(
+                guarantee=GuaranteeSpec.milliseconds(5),
+                auto_tune=True,
+                shadow_capacity=8,  # tiny shadow: pressure is easy to cause
+                admission_control=False,
+                lowest_priority_fastpath=False,
+                epoch=0.01,  # several tuning windows within the test
+            ),
+        )
+        initial = hermes.auto_tuner.slack
+        time = 0.0
+        for index in range(200):
+            hermes.advance_time(time)
+            hermes.apply(
+                FlowMod.add(
+                    Rule.from_prefix(
+                        f"10.{index // 200}.{index % 200}.0/24",
+                        100 + index,
+                        Action.output(1),
+                    )
+                )
+            )
+            time += 5e-4  # 2000 rules/s against an 8-entry shadow
+        assert hermes.auto_tuner.slack > initial
+        assert len(hermes.auto_tuner.adjustments) > 1
+
+    def test_quiet_workload_decays_slack(self):
+        hermes = HermesInstaller(
+            pica8_p3290(),
+            config=HermesConfig(
+                guarantee=GuaranteeSpec.milliseconds(5), auto_tune=True
+            ),
+        )
+        initial = hermes.auto_tuner.slack
+        time = 0.0
+        for index in range(60):
+            hermes.advance_time(time)
+            hermes.apply(
+                FlowMod.add(
+                    Rule.from_prefix(
+                        f"10.0.{index % 200}.0/24", 100 + index, Action.output(1)
+                    )
+                )
+            )
+            time += 0.2  # 5 rules/s: trivially clean
+        assert hermes.auto_tuner.slack < initial

@@ -1,0 +1,191 @@
+"""Tests for the Gate Keeper (token bucket, predicates) and guarantee math."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GateKeeper,
+    GuaranteeSpec,
+    TokenBucket,
+    asic_overhead,
+    estimate_migration_time,
+    match_all,
+    max_insertion_rate,
+    priority_at_least,
+    shadow_capacity_for,
+)
+from repro.tcam import Action, Rule, dell_8132f, hp_5406zl, ideal_switch, pica8_p3290
+
+
+def rule(prefix, priority):
+    return Rule.from_prefix(prefix, priority, Action.output(1))
+
+
+class TestTokenBucket:
+    def test_burst_is_available_immediately(self):
+        bucket = TokenBucket(rate=10, burst=5)
+        assert all(bucket.try_consume(0.0) for _ in range(5))
+        assert not bucket.try_consume(0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate=10, burst=5)
+        for _ in range(5):
+            bucket.try_consume(0.0)
+        assert not bucket.try_consume(0.0)
+        assert bucket.try_consume(0.1)  # one token refilled
+
+    def test_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=1000, burst=3)
+        bucket.try_consume(0.0)
+        bucket._refill(1000.0)
+        assert bucket.tokens == pytest.approx(3)
+
+    def test_infinite_rate(self):
+        bucket = TokenBucket(rate=math.inf, burst=2)
+        bucket.try_consume(0.0)
+        bucket.try_consume(0.0)
+        assert bucket.try_consume(0.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=5)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=5, burst=0)
+
+    def test_sustained_rate_enforced(self):
+        bucket = TokenBucket(rate=100, burst=10)
+        admitted = 0
+        time = 0.0
+        for _ in range(1000):  # offered load: 1000 actions over 1 second
+            if bucket.try_consume(time):
+                admitted += 1
+            time += 0.001
+        assert admitted <= 10 + 100 + 1  # burst + one second of rate
+
+
+class TestGateKeeper:
+    def test_guaranteed_path_by_default(self):
+        gate = GateKeeper()
+        decision = gate.decide(
+            rule("10.0.0.0/8", 50), 0.0, shadow_has_room=True, main_lowest_priority=10
+        )
+        assert decision.use_shadow and decision.reason == "guaranteed"
+
+    def test_predicate_miss_diverts(self):
+        gate = GateKeeper(predicate=priority_at_least(100))
+        decision = gate.decide(
+            rule("10.0.0.0/8", 50), 0.0, shadow_has_room=True, main_lowest_priority=10
+        )
+        assert not decision.use_shadow and decision.reason == "predicate-miss"
+
+    def test_lowest_priority_fastpath(self):
+        gate = GateKeeper()
+        decision = gate.decide(
+            rule("0.0.0.0/0", 5), 0.0, shadow_has_room=True, main_lowest_priority=10
+        )
+        assert not decision.use_shadow
+        assert decision.reason == "lowest-priority-fastpath"
+
+    def test_fastpath_disabled(self):
+        gate = GateKeeper(lowest_priority_fastpath=False)
+        decision = gate.decide(
+            rule("0.0.0.0/0", 5), 0.0, shadow_has_room=True, main_lowest_priority=10
+        )
+        assert decision.use_shadow
+
+    def test_fastpath_ignored_when_main_empty(self):
+        gate = GateKeeper()
+        decision = gate.decide(
+            rule("10.0.0.0/8", 5), 0.0, shadow_has_room=True, main_lowest_priority=None
+        )
+        assert decision.use_shadow
+
+    def test_shadow_full_diverts(self):
+        gate = GateKeeper()
+        decision = gate.decide(
+            rule("10.0.0.0/8", 50), 0.0, shadow_has_room=False, main_lowest_priority=10
+        )
+        assert not decision.use_shadow and decision.reason == "shadow-full"
+
+    def test_rate_limit_diverts_excess(self):
+        gate = GateKeeper(bucket=TokenBucket(rate=1, burst=2))
+        outcomes = [
+            gate.decide(
+                rule("10.0.0.0/8", 50),
+                0.0,
+                shadow_has_room=True,
+                main_lowest_priority=10,
+            ).use_shadow
+            for _ in range(4)
+        ]
+        assert outcomes == [True, True, False, False]
+        assert gate.admitted == 2
+        assert gate.diverted == 2
+
+    def test_match_all(self):
+        assert match_all(rule("10.0.0.0/8", 1))
+
+
+class TestGuaranteeSpec:
+    def test_milliseconds_constructor(self):
+        assert GuaranteeSpec.milliseconds(5).insertion_latency == pytest.approx(5e-3)
+
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            GuaranteeSpec(0.0)
+
+
+class TestShadowSizing:
+    def test_five_ms_on_pica8_is_under_five_percent(self):
+        spec = GuaranteeSpec.milliseconds(5)
+        assert asic_overhead(pica8_p3290(), spec) < 0.05
+
+    def test_overhead_decreases_with_looser_guarantee(self):
+        for timing in (pica8_p3290(), dell_8132f(), hp_5406zl()):
+            overheads = [
+                asic_overhead(timing, GuaranteeSpec.milliseconds(ms))
+                for ms in (1, 5, 10)
+            ]
+            assert overheads == sorted(overheads)
+            assert all(0 < o <= 1 for o in overheads)
+
+    def test_infeasible_guarantee_raises(self):
+        with pytest.raises(ValueError):
+            shadow_capacity_for(pica8_p3290(), GuaranteeSpec(1e-9))
+
+    def test_ideal_switch_has_full_capacity_shadow(self):
+        timing = ideal_switch()
+        spec = GuaranteeSpec.milliseconds(1)
+        assert shadow_capacity_for(timing, spec) == timing.capacity
+
+
+class TestEquations:
+    def test_equation1(self):
+        # lambda = S_ST / t_m
+        assert max_insertion_rate(100, migration_time=0.1) == pytest.approx(1000)
+
+    def test_equation2_partitions_reduce_rate(self):
+        base = max_insertion_rate(100, migration_time=0.1)
+        fragmented = max_insertion_rate(
+            100, migration_time=0.1, expected_partitions=2.0
+        )
+        assert fragmented == pytest.approx(base / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_insertion_rate(0, 0.1)
+        with pytest.raises(ValueError):
+            max_insertion_rate(10, 0.0)
+        with pytest.raises(ValueError):
+            max_insertion_rate(10, 0.1, expected_partitions=0.5)
+
+    def test_migration_time_grows_with_rules(self):
+        timing = pica8_p3290()
+        small = estimate_migration_time(timing, 50, 500)
+        large = estimate_migration_time(timing, 500, 500)
+        assert large > small
+
+    def test_migration_time_validation(self):
+        with pytest.raises(ValueError):
+            estimate_migration_time(pica8_p3290(), -1, 0)

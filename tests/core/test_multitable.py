@@ -1,0 +1,139 @@
+"""Tests for multi-table Hermes (Section 6)."""
+
+import pytest
+
+from repro.core import (
+    GuaranteeSpec,
+    HermesInstaller,
+    LogicalTableSpec,
+    MultiTableHermes,
+)
+from repro.switchsim import DirectInstaller, FlowMod, MissBehavior
+from repro.tcam import Action, Prefix, Rule, pica8_p3290
+
+
+def rule(prefix, priority, port=1):
+    return Rule.from_prefix(prefix, priority, Action.output(port))
+
+
+def key(address):
+    return Prefix.from_string(address).network
+
+
+def make_switch():
+    return MultiTableHermes(
+        pica8_p3290,
+        [
+            LogicalTableSpec(
+                name="acl",
+                guarantee=GuaranteeSpec.milliseconds(1),
+                on_miss=MissBehavior.GOTO_NEXT,
+            ),
+            LogicalTableSpec(
+                name="forwarding",
+                guarantee=GuaranteeSpec.milliseconds(10),
+                on_miss=MissBehavior.DROP,
+            ),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_per_table_installer_kinds(self):
+        switch = MultiTableHermes(
+            pica8_p3290,
+            [
+                LogicalTableSpec("acl", guarantee=GuaranteeSpec.milliseconds(5)),
+                LogicalTableSpec("forwarding", guarantee=None),
+            ],
+        )
+        assert isinstance(switch.table("acl"), HermesInstaller)
+        assert isinstance(switch.table("forwarding"), DirectInstaller)
+
+    def test_different_guarantees_per_table(self):
+        switch = make_switch()
+        guarantees = switch.guarantees()
+        assert guarantees["acl"] == pytest.approx(1e-3)
+        assert guarantees["forwarding"] == pytest.approx(10e-3)
+        # Tighter guarantee, smaller shadow.
+        assert (
+            switch.table("acl").shadow.capacity
+            < switch.table("forwarding").shadow.capacity
+        )
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTableHermes(pica8_p3290, [])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTableHermes(
+                pica8_p3290,
+                [LogicalTableSpec("x"), LogicalTableSpec("x")],
+            )
+
+    def test_table_order_preserved(self):
+        assert make_switch().table_names() == ["acl", "forwarding"]
+
+
+class TestControlPlane:
+    def test_apply_targets_named_table(self):
+        switch = make_switch()
+        switch.apply("acl", FlowMod.add(rule("10.0.0.0/8", 50)))
+        assert switch.occupancy()["acl"] == 1
+        assert switch.occupancy()["forwarding"] == 0
+
+    def test_guarantee_enforced_per_table(self):
+        switch = make_switch()
+        result = switch.apply("acl", FlowMod.add(rule("10.0.0.0/8", 50)))
+        assert result.used_guaranteed_path
+        assert result.latency <= 1e-3
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(KeyError):
+            make_switch().apply("nat", FlowMod.add(rule("10.0.0.0/8", 1)))
+
+    def test_advance_time_drives_all_tables(self):
+        switch = make_switch()
+        acl = switch.table("acl")
+        # Fill the ACL shadow past the predictive trigger's high watermark.
+        fill = int(acl.shadow.capacity * 0.95)
+        for index in range(fill):
+            switch.apply(
+                "acl", FlowMod.add(rule(f"10.{index // 200}.{index % 200}.0/24", 50 + index))
+            )
+        switch.advance_time(10.0)
+        assert acl.shadow.occupancy == 0
+        assert acl.main.occupancy == fill
+
+    def test_calm_shadow_is_left_alone(self):
+        # With no forecast pressure, migrating would be wasted work.
+        switch = make_switch()
+        switch.apply("acl", FlowMod.add(rule("10.0.0.0/8", 50)))
+        switch.advance_time(10.0)
+        assert switch.table("acl").shadow.occupancy == 1
+
+
+class TestDataPlane:
+    def test_pipeline_traversal_and_miss_behaviour(self):
+        switch = make_switch()
+        switch.apply("acl", FlowMod.add(rule("10.0.0.0/8", 50, port=1)))
+        switch.apply("forwarding", FlowMod.add(rule("11.0.0.0/8", 5, port=2)))
+        # ACL hit terminates the pipeline.
+        assert switch.lookup(key("10.1.1.1")).action.port == 1
+        # ACL miss falls through to forwarding.
+        assert switch.lookup(key("11.1.1.1")).action.port == 2
+        # Forwarding miss (its original behaviour) drops.
+        verdict = switch.process(key("192.168.0.1"))
+        assert verdict.dropped
+
+    def test_shadow_consulted_before_main_within_table(self):
+        switch = make_switch()
+        resident = rule("10.0.0.0/8", 90, port=3)
+        switch.apply("forwarding", FlowMod.add(resident))
+        switch.table("forwarding").rule_manager.migrate(0.0)
+        assert switch.table("forwarding").main.occupancy == 1
+        assert switch.lookup(key("10.1.1.1")).action.port == 3
+
+    def test_repr_mentions_scheme(self):
+        assert "hermes" in repr(make_switch())

@@ -1,0 +1,225 @@
+"""Tests for the Rule Manager: triggers, migration workflow, consistency."""
+
+import pytest
+
+from repro.core import (
+    CubicSplinePredictor,
+    PartitionMap,
+    PredictiveTrigger,
+    RuleManager,
+    SlackCorrector,
+    ThresholdTrigger,
+    partition_new_rule,
+)
+from repro.core.prediction import EwmaPredictor
+from repro.tcam import Action, Prefix, Rule, TcamTable, pica8_p3290
+
+
+def rule(prefix, priority, port=1):
+    return Rule.from_prefix(prefix, priority, Action.output(port))
+
+
+def make_manager(threshold=None, shadow_capacity=16, main_capacity=512, **kwargs):
+    shadow = TcamTable(pica8_p3290(), capacity=shadow_capacity, name="shadow")
+    main = TcamTable(pica8_p3290(), capacity=main_capacity, name="main")
+    pmap = PartitionMap()
+    if threshold is not None:
+        trigger = ThresholdTrigger(threshold)
+    else:
+        trigger = PredictiveTrigger(CubicSplinePredictor(window=4), SlackCorrector(1.0))
+    kwargs.setdefault("epoch", 0.05)
+    manager = RuleManager(shadow, main, pmap, trigger, **kwargs)
+    return manager, shadow, main, pmap
+
+
+class TestTriggers:
+    def test_threshold_zero_fires_on_any_occupancy(self):
+        trigger = ThresholdTrigger(0.0)
+        assert trigger.should_migrate(1, 100)
+        assert not trigger.should_migrate(0, 100)
+
+    def test_threshold_waits_for_fill(self):
+        trigger = ThresholdTrigger(0.5)
+        assert not trigger.should_migrate(49, 100)
+        assert trigger.should_migrate(50, 100)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdTrigger(1.5)
+
+    def test_predictive_fires_when_forecast_overflows(self):
+        trigger = PredictiveTrigger(EwmaPredictor(alpha=1.0), SlackCorrector(0.0))
+        trigger.observe_epoch(60)
+        assert trigger.should_migrate(50, 100)  # 50 + 60 > 100
+        assert not trigger.should_migrate(30, 100)  # 30 + 60 <= 100
+
+    def test_predictive_slack_inflates_forecast(self):
+        plain = PredictiveTrigger(EwmaPredictor(alpha=1.0), SlackCorrector(0.0))
+        inflated = PredictiveTrigger(EwmaPredictor(alpha=1.0), SlackCorrector(1.0))
+        for trigger in (plain, inflated):
+            trigger.observe_epoch(30)
+        assert not plain.should_migrate(50, 100)  # 50 + 30 <= 100
+        assert inflated.should_migrate(50, 100)  # 50 + 60 > 100
+
+    def test_predictive_idle_shadow_never_migrates(self):
+        trigger = PredictiveTrigger(EwmaPredictor(alpha=1.0), SlackCorrector(5.0))
+        trigger.observe_epoch(1000)
+        assert not trigger.should_migrate(0, 100)
+
+
+class TestMigrationWorkflow:
+    def test_moves_all_shadow_rules_to_main(self):
+        manager, shadow, main, _ = make_manager(threshold=0.0)
+        for index in range(5):
+            shadow.insert(rule(f"10.{index}.0.0/16", 10 + index))
+        report = manager.migrate(now=1.0)
+        assert shadow.occupancy == 0
+        assert main.occupancy == 5
+        assert report.rules_copied == 5
+        assert report.rules_written == 5
+        assert report.duration > 0
+
+    def test_empty_shadow_migration_is_cheap(self):
+        manager, _, _, _ = make_manager(threshold=0.0)
+        report = manager.migrate(now=0.0)
+        assert report.rules_copied == 0
+        assert report.rules_written == 0
+
+    def test_fragment_family_collapses_to_original(self):
+        manager, shadow, main, pmap = make_manager()
+        blocker = rule("10.0.0.0/16", 99, port=1)
+        main.insert(blocker)
+        original = rule("10.0.0.0/8", 10, port=2)
+        outcome = partition_new_rule(original, main.rules())
+        assert len(outcome.fragments) > 1
+        for fragment in outcome.fragments:
+            shadow.insert(fragment)
+        pmap.record(original, outcome)
+        report = manager.migrate(now=0.0)
+        # The fragments collapsed back into the single original rule.
+        assert report.rules_merged_away == len(outcome.fragments) - 1
+        assert original.rule_id in main
+        assert not pmap.is_partitioned(original.rule_id)
+        # Semantics: the blocker still wins inside 10.0/16, the original
+        # catches the rest of 10/8.
+        assert main.lookup(Prefix.from_string("10.0.1.1").network).action.port == 1
+        assert main.lookup(Prefix.from_string("10.9.1.1").network).action.port == 2
+
+    def test_optimizer_disabled_writes_fragments_verbatim(self):
+        manager, shadow, main, pmap = make_manager(optimize=False)
+        blocker = rule("10.0.0.0/16", 99)
+        main.insert(blocker)
+        original = rule("10.0.0.0/8", 10)
+        outcome = partition_new_rule(original, main.rules())
+        for fragment in outcome.fragments:
+            shadow.insert(fragment)
+        pmap.record(original, outcome)
+        report = manager.migrate(now=0.0)
+        assert report.rules_merged_away == 0
+        assert report.rules_written == len(outcome.fragments)
+
+    def test_main_table_overflow_strands_rules_in_shadow(self):
+        manager, shadow, main, _ = make_manager(main_capacity=3)
+        for index in range(6):
+            shadow.insert(rule(f"10.{index}.0.0/16", 10 + index))
+        manager.migrate(now=0.0)
+        assert main.occupancy == 3
+        assert shadow.occupancy == 3  # the stranded remainder
+
+    def test_atomic_migration_has_no_gap(self):
+        manager, shadow, main, _ = make_manager(atomic=True)
+        resident = rule("10.0.0.0/8", 10)
+        main.insert(resident)
+        shadow.insert(rule("11.0.0.0/8", 10))
+        report = manager.migrate(now=0.0)
+        assert report.transient_gap_time == 0.0
+
+    def test_non_atomic_migration_records_gap(self):
+        manager, shadow, main, _ = make_manager(atomic=False, optimize=False)
+        resident = rule("10.0.0.0/8", 10)
+        main.insert(resident)
+        # Plant a shadow rule with the *same id* to force a refresh cycle.
+        shadow.insert(
+            Rule(
+                match=resident.match,
+                priority=resident.priority,
+                action=Action.output(7),
+                rule_id=resident.rule_id,
+            )
+        )
+        report = manager.migrate(now=0.0)
+        assert report.transient_gap_time > 0.0
+        assert main.get(resident.rule_id).action.port == 7
+
+    def test_conflicting_migrated_rules_pay_online_cost(self):
+        """A migrated rule that dominates a main-table resident cannot use
+        a planned (zero-shift) slot: it must pay the shifting cost."""
+        manager, shadow, main, _ = make_manager(main_capacity=1024)
+        for index in range(200):
+            main.insert(rule(f"10.{index % 200}.0.0/16", 10))
+        # Clean rule: disjoint from everything in main.
+        clean = rule("192.168.0.0/16", 99)
+        shadow.insert(clean)
+        report_clean = manager.migrate(now=0.0)
+        # Conflicting rule: dominates the resident /16s.
+        dominating = rule("10.0.0.0/8", 99)
+        shadow.insert(dominating)
+        report_conflicted = manager.migrate(now=1.0)
+        assert report_conflicted.write_time > 5 * report_clean.write_time
+
+    def test_migration_report_accounting(self):
+        manager, shadow, _, _ = make_manager()
+        for index in range(4):
+            shadow.insert(rule(f"10.{index}.0.0/16", 10))
+        report = manager.migrate(now=2.5)
+        assert report.started_at == 2.5
+        assert report.duration >= report.optimizer_time + report.write_time
+
+
+class TestTick:
+    def test_tick_before_epoch_boundary_does_nothing(self):
+        manager, shadow, _, _ = make_manager(threshold=0.0)
+        shadow.insert(rule("10.0.0.0/8", 1))
+        assert manager.tick(0.01) == 0.0
+        assert shadow.occupancy == 1
+
+    def test_tick_after_epoch_runs_trigger(self):
+        manager, shadow, main, _ = make_manager(threshold=0.0)
+        shadow.insert(rule("10.0.0.0/8", 1))
+        background = manager.tick(0.06)
+        assert background > 0.0
+        assert shadow.occupancy == 0
+        assert main.occupancy == 1
+
+    def test_predictive_end_to_end(self):
+        manager, shadow, main, _ = make_manager(shadow_capacity=8)
+        time = 0.0
+        for index in range(32):
+            manager.tick(time)
+            if not shadow.is_full:
+                shadow.insert(rule(f"10.{index}.0.0/16", 10 + index))
+                manager.note_arrival()
+            time += 0.02  # ~2.5 arrivals per 0.05s epoch against capacity 8
+        manager.tick(time)
+        assert len(manager.migrations) >= 1
+        assert main.occupancy > 0
+
+    def test_long_idle_gap_is_collapsed(self):
+        manager, shadow, _, _ = make_manager()
+        shadow.insert(rule("10.0.0.0/8", 1))
+        manager.note_arrival()
+        # A huge time jump must not stall in per-epoch bookkeeping.
+        manager.tick(1e6)
+        assert manager._epoch_start == pytest.approx(1e6, abs=manager.epoch)
+
+    def test_migrations_per_second(self):
+        manager, shadow, _, _ = make_manager(threshold=0.0)
+        shadow.insert(rule("10.0.0.0/8", 1))
+        manager.migrate(0.0)
+        assert manager.migrations_per_second(2.0) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            manager.migrations_per_second(0.0)
+
+    def test_epoch_validation(self):
+        with pytest.raises(ValueError):
+            make_manager(epoch=0.0)

@@ -1,0 +1,133 @@
+"""Tests for max-min fair rate allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import link_utilization, max_min_fair_rates
+
+
+L1 = ("a", "b")
+L2 = ("b", "c")
+
+
+class TestMaxMinFairness:
+    def test_single_flow_gets_full_capacity(self):
+        rates = max_min_fair_rates({1: [L1]}, {L1: 10.0})
+        assert rates[1] == pytest.approx(10.0)
+
+    def test_equal_split_on_shared_link(self):
+        rates = max_min_fair_rates({1: [L1], 2: [L1]}, {L1: 10.0})
+        assert rates[1] == pytest.approx(5.0)
+        assert rates[2] == pytest.approx(5.0)
+
+    def test_classic_three_flow_example(self):
+        # Flow A uses L1+L2, B uses L1, C uses L2; capacities 10 each.
+        # Max-min: A=5, B=5, C=5.
+        rates = max_min_fair_rates(
+            {"A": [L1, L2], "B": [L1], "C": [L2]}, {L1: 10.0, L2: 10.0}
+        )
+        assert rates["A"] == pytest.approx(5.0)
+        assert rates["B"] == pytest.approx(5.0)
+        assert rates["C"] == pytest.approx(5.0)
+
+    def test_bottleneck_frees_capacity_elsewhere(self):
+        # A on the thin link shares it; B alone enjoys the fat link's rest.
+        rates = max_min_fair_rates(
+            {"A": [L1, L2], "B": [L2]}, {L1: 2.0, L2: 10.0}
+        )
+        assert rates["A"] == pytest.approx(2.0)
+        assert rates["B"] == pytest.approx(8.0)
+
+    def test_empty_path_means_unconstrained(self):
+        rates = max_min_fair_rates({1: []}, {})
+        assert rates[1] > 1e12
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(KeyError):
+            max_min_fair_rates({1: [("x", "y")]}, {L1: 1.0})
+
+    def test_no_flows(self):
+        assert max_min_fair_rates({}, {L1: 1.0}) == {}
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=20),
+            st.lists(
+                st.sampled_from([("a", "b"), ("b", "c"), ("c", "d"), ("a", "d")]),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_allocation_is_feasible_and_positive(self, flow_paths):
+        capacities = {
+            ("a", "b"): 10.0,
+            ("b", "c"): 7.0,
+            ("c", "d"): 5.0,
+            ("a", "d"): 3.0,
+        }
+        rates = max_min_fair_rates(flow_paths, capacities)
+        assert set(rates) == set(flow_paths)
+        assert all(rate >= 0 for rate in rates.values())
+        # No link is oversubscribed (small float tolerance).
+        load = {}
+        for flow_id, path in flow_paths.items():
+            for link in path:
+                load[link] = load.get(link, 0.0) + rates[flow_id]
+        for link, total in load.items():
+            assert total <= capacities[link] * (1 + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=1, max_value=10),
+            st.lists(
+                st.sampled_from([("a", "b"), ("b", "c")]),
+                min_size=1,
+                max_size=2,
+                unique=True,
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_max_min_property(self, flow_paths):
+        """No flow's rate can rise without lowering a poorer flow's rate:
+        every flow is bottlenecked at a saturated link where it has the
+        maximal share."""
+        capacities = {("a", "b"): 10.0, ("b", "c") : 6.0}
+        rates = max_min_fair_rates(flow_paths, capacities)
+        load = {}
+        for flow_id, path in flow_paths.items():
+            for link in path:
+                load[link] = load.get(link, 0.0) + rates[flow_id]
+        for flow_id, path in flow_paths.items():
+            bottlenecked = False
+            for link in path:
+                saturated = load[link] >= capacities[link] * (1 - 1e-9)
+                share_is_max = all(
+                    rates[flow_id] >= rates[other] - 1e-9
+                    for other, other_path in flow_paths.items()
+                    if link in other_path
+                )
+                if saturated and share_is_max:
+                    bottlenecked = True
+            assert bottlenecked, f"flow {flow_id} has no bottleneck link"
+
+
+class TestLinkUtilization:
+    def test_utilization_computed_per_link(self):
+        utilization = link_utilization(
+            {1: [L1], 2: [L1, L2]}, {1: 4.0, 2: 2.0}, {L1: 10.0, L2: 10.0}
+        )
+        assert utilization[L1] == pytest.approx(0.6)
+        assert utilization[L2] == pytest.approx(0.2)
+
+    def test_zero_capacity_links_skipped(self):
+        utilization = link_utilization({1: [L1]}, {1: 1.0}, {L1: 0.0})
+        assert L1 not in utilization

@@ -1,0 +1,69 @@
+"""Tests for in-place slice resizing (the ModQoSConfig substrate)."""
+
+import pytest
+
+from repro.tcam import Action, CarvedTcam, Rule, SliceConfig, pica8_p3290
+
+
+def carve(shadow=64, main=1024):
+    return CarvedTcam(
+        pica8_p3290(),
+        [
+            SliceConfig("shadow", shadow, lookup_priority=10),
+            SliceConfig("main", main, lookup_priority=1),
+        ],
+    )
+
+
+def rule(prefix, priority):
+    return Rule.from_prefix(prefix, priority, Action.output(1))
+
+
+class TestRecarve:
+    def test_grow_within_physical_capacity(self):
+        tcam = carve(shadow=64, main=1024)
+        tcam.recarve("shadow", 128)
+        assert tcam.slice("shadow").capacity == 128
+        assert tcam.total_capacity == 128 + 1024
+
+    def test_shrink_empty_slice(self):
+        tcam = carve()
+        tcam.recarve("shadow", 8)
+        assert tcam.slice("shadow").capacity == 8
+
+    def test_shrink_below_occupancy_rejected(self):
+        tcam = carve(shadow=8)
+        for index in range(4):
+            tcam.slice("shadow").insert(rule(f"{10 + index}.0.0.0/8", 5))
+        with pytest.raises(ValueError):
+            tcam.recarve("shadow", 3)
+        assert tcam.slice("shadow").capacity == 8  # unchanged on failure
+
+    def test_exceeding_physical_capacity_rejected(self):
+        tcam = carve(shadow=64, main=1024)
+        with pytest.raises(ValueError):
+            tcam.recarve("main", 3072)  # 64 + 3072 > 3072 physical
+
+    def test_unknown_slice_rejected(self):
+        with pytest.raises(KeyError):
+            carve().recarve("bogus", 10)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            carve().recarve("shadow", 0)
+
+    def test_recarve_preserves_contents_and_lookup(self):
+        tcam = carve()
+        r = rule("10.0.0.0/8", 5)
+        tcam.slice("shadow").insert(r)
+        tcam.recarve("shadow", 32)
+        assert r.rule_id in tcam.slice("shadow")
+        from repro.tcam import Prefix
+
+        assert tcam.lookup(Prefix.from_string("10.1.1.1").network) is not None
+
+    def test_shrink_then_grow_roundtrip(self):
+        tcam = carve(shadow=64, main=1024)
+        tcam.recarve("shadow", 16)
+        tcam.recarve("main", 2048)
+        assert tcam.total_capacity == 16 + 2048

@@ -1,0 +1,112 @@
+"""Tests for TCAM carving into shadow/main slices."""
+
+import pytest
+
+from repro.tcam import (
+    Action,
+    CarvedTcam,
+    Prefix,
+    Rule,
+    SliceConfig,
+    pica8_p3290,
+)
+
+
+def carve(shadow=64, main=1024):
+    return CarvedTcam(
+        pica8_p3290(),
+        [
+            SliceConfig("shadow", shadow, lookup_priority=10),
+            SliceConfig("main", main, lookup_priority=1),
+        ],
+    )
+
+
+def rule(prefix, priority, port=1):
+    return Rule.from_prefix(prefix, priority, Action.output(port))
+
+
+class TestCarving:
+    def test_slices_have_requested_sizes(self):
+        tcam = carve(shadow=32, main=512)
+        assert tcam.slice("shadow").capacity == 32
+        assert tcam.slice("main").capacity == 512
+        assert tcam.total_capacity == 544
+
+    def test_carve_cannot_exceed_physical_capacity(self):
+        with pytest.raises(ValueError):
+            carve(shadow=1024, main=3000)  # Pica8 capacity is 3072
+
+    def test_duplicate_slice_names_rejected(self):
+        with pytest.raises(ValueError):
+            CarvedTcam(
+                pica8_p3290(),
+                [SliceConfig("x", 10, 1), SliceConfig("x", 10, 2)],
+            )
+
+    def test_zero_capacity_slice_rejected(self):
+        with pytest.raises(ValueError):
+            SliceConfig("shadow", 0, 1)
+
+    def test_unknown_slice_raises(self):
+        with pytest.raises(KeyError):
+            carve().slice("bogus")
+
+    def test_slice_names_by_lookup_priority(self):
+        assert carve().slice_names() == ["shadow", "main"]
+
+
+class TestIndependentOccupancy:
+    def test_shadow_insert_cost_ignores_main_occupancy(self):
+        """The core Hermes property: filling the main slice must not slow
+        down inserts into the (empty) shadow slice."""
+        tcam = carve(shadow=64, main=1024)
+        for index in range(500):
+            tcam.slice("main").insert(
+                rule(f"10.{index // 250}.{index % 250}.0/24", 10)
+            )
+        main_cost = tcam.slice("main").insert(rule("172.16.0.0/16", 99)).latency
+        shadow_cost = tcam.slice("shadow").insert(rule("172.17.0.0/16", 99)).latency
+        assert shadow_cost < main_cost / 10
+
+    def test_total_occupancy_sums_slices(self):
+        tcam = carve()
+        tcam.slice("shadow").insert(rule("10.0.0.0/8", 1))
+        tcam.slice("main").insert(rule("11.0.0.0/8", 1))
+        assert tcam.total_occupancy == 2
+
+
+class TestCrossSliceLookup:
+    def test_higher_priority_slice_wins(self):
+        tcam = carve()
+        main_rule = rule("10.0.0.0/8", 99, port=1)
+        shadow_rule = rule("10.0.0.0/8", 1, port=2)
+        tcam.slice("main").insert(main_rule)
+        tcam.slice("shadow").insert(shadow_rule)
+        hit = tcam.lookup(Prefix.from_string("10.1.1.1").network)
+        assert hit is not None
+        slice_name, matched = hit
+        # The shadow slice has higher lookup priority, so its rule wins even
+        # though the main-table rule has a higher rule priority — this is
+        # exactly the correctness hazard Hermes's partitioner exists to fix.
+        assert slice_name == "shadow"
+        assert matched.action.port == 2
+
+    def test_miss_falls_through_to_main(self):
+        tcam = carve()
+        tcam.slice("main").insert(rule("10.0.0.0/8", 5, port=3))
+        slice_name, matched = tcam.lookup(Prefix.from_string("10.2.3.4").network)
+        assert slice_name == "main"
+        assert matched.action.port == 3
+
+    def test_full_miss_returns_none(self):
+        assert carve().lookup(0) is None
+
+    def test_find_rule_locates_slice(self):
+        tcam = carve()
+        r = rule("10.0.0.0/8", 5)
+        tcam.slice("shadow").insert(r)
+        slice_name, found = tcam.find_rule(r.rule_id)
+        assert slice_name == "shadow"
+        assert found.rule_id == r.rule_id
+        assert tcam.find_rule(424242) is None

@@ -1,0 +1,134 @@
+"""Stateful (model-based) testing of the TCAM table.
+
+A hypothesis rule-based state machine drives random insert / delete /
+modify / lookup sequences against :class:`TcamTable` while maintaining a
+simple dict model, checking after every step that the physical invariants
+hold: descending-priority order, id-index consistency, occupancy bounds,
+and lookup agreement with the model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.tcam import Action, Prefix, Rule, TcamTable, pica8_p3290
+
+CAPACITY = 24
+
+prefix_strategy = st.builds(
+    lambda bits, length: Prefix(
+        ((10 << 24) | (bits << (32 - length)))
+        & (((1 << length) - 1) << (32 - length)),
+        length,
+    ),
+    bits=st.integers(min_value=0, max_value=255),
+    length=st.integers(min_value=8, max_value=16),
+)
+
+
+class TcamTableMachine(RuleBasedStateMachine):
+    """Random operation sequences against a model dict."""
+
+    @initialize()
+    def setup(self) -> None:
+        self.table = TcamTable(pica8_p3290(), capacity=CAPACITY)
+        self.model = {}  # rule_id -> Rule
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    @rule(
+        prefix=prefix_strategy,
+        priority=st.integers(min_value=1, max_value=60),
+        port=st.integers(min_value=1, max_value=8),
+    )
+    def insert(self, prefix, priority, port):
+        new_rule = Rule.from_prefix(prefix, priority, Action.output(port))
+        if self.table.is_full:
+            from repro.tcam import TableFullError
+
+            try:
+                self.table.insert(new_rule)
+                raise AssertionError("full table accepted an insert")
+            except TableFullError:
+                return
+        result = self.table.insert(new_rule)
+        assert result.latency > 0
+        assert 0 <= result.shifts <= len(self.model)
+        self.model[new_rule.rule_id] = new_rule
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        rule_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.delete(rule_id)
+        del self.model[rule_id]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), port=st.integers(min_value=1, max_value=8))
+    def modify_action(self, data, port):
+        rule_id = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.modify(rule_id, action=Action.output(port))
+        old = self.model[rule_id]
+        self.model[rule_id] = Rule(
+            match=old.match,
+            priority=old.priority,
+            action=Action.output(port),
+            rule_id=old.rule_id,
+            origin_id=old.origin_id,
+        )
+
+    @rule(address=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def lookup(self, address):
+        hit = self.table.lookup(address)
+        candidates = [
+            r for r in self.model.values() if r.match.matches(address)
+        ]
+        if not candidates:
+            assert hit is None
+            return
+        assert hit is not None
+        best_priority = max(r.priority for r in candidates)
+        # Equal-priority ties are broken by physical order; the hit must at
+        # least carry the winning priority.
+        assert hit.priority == best_priority
+        assert hit.rule_id in self.model
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def physical_order_is_descending_priority(self):
+        if not hasattr(self, "table"):
+            return
+        priorities = [r.priority for r in self.table.rules()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    @invariant()
+    def occupancy_matches_model(self):
+        if not hasattr(self, "table"):
+            return
+        assert self.table.occupancy == len(self.model)
+        assert self.table.occupancy <= self.table.capacity
+        for rule_id in self.model:
+            assert rule_id in self.table
+
+    @invariant()
+    def stats_are_consistent(self):
+        if not hasattr(self, "table"):
+            return
+        stats = self.table.stats
+        assert stats.insertions >= len(self.model)
+        assert stats.insertions - stats.deletions == len(self.model)
+
+
+TestTcamTableStateful = TcamTableMachine.TestCase
+TestTcamTableStateful.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None, derandomize=True
+)

@@ -1,0 +1,149 @@
+"""Tests for the prefix trie and the rule overlap index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcam import Action, Prefix, Rule, TernaryMatch
+from repro.tcam.trie import PrefixRuleIndex, PrefixTrie
+
+
+def P(text):
+    return Prefix.from_string(text)
+
+
+def rule(prefix, priority, port=1):
+    return Rule.from_prefix(prefix, priority, Action.output(port))
+
+
+@st.composite
+def prefixes_10slash8(draw):
+    length = draw(st.integers(min_value=8, max_value=20))
+    bits = draw(st.integers(min_value=0, max_value=(1 << (length - 8)) - 1))
+    network = (10 << 24) | (bits << (32 - length))
+    return Prefix(network, length)
+
+
+class TestPrefixTrie:
+    def test_insert_and_size(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), rule("10.0.0.0/8", 1))
+        assert len(trie) == 1
+
+    def test_duplicate_id_at_same_prefix_rejected(self):
+        trie = PrefixTrie()
+        r = rule("10.0.0.0/8", 1)
+        trie.insert(P("10.0.0.0/8"), r)
+        with pytest.raises(ValueError):
+            trie.insert(P("10.0.0.0/8"), r)
+
+    def test_remove_is_idempotent(self):
+        trie = PrefixTrie()
+        r = rule("10.0.0.0/8", 1)
+        trie.insert(P("10.0.0.0/8"), r)
+        assert trie.remove(P("10.0.0.0/8"), r.rule_id)
+        assert not trie.remove(P("10.0.0.0/8"), r.rule_id)
+        assert len(trie) == 0
+
+    def test_overlapping_finds_ancestors_and_descendants(self):
+        trie = PrefixTrie()
+        ancestor = rule("10.0.0.0/8", 1)
+        exact = rule("10.1.0.0/16", 2)
+        descendant = rule("10.1.2.0/24", 3)
+        sibling = rule("10.2.0.0/16", 4)
+        for r in (ancestor, exact, descendant, sibling):
+            trie.insert(r.match.to_prefix(), r)
+        found = {r.rule_id for r in trie.overlapping(P("10.1.0.0/16"))}
+        assert found == {ancestor.rule_id, exact.rule_id, descendant.rule_id}
+
+    def test_disjoint_prefix_finds_nothing(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), rule("10.0.0.0/8", 1))
+        assert list(trie.overlapping(P("11.0.0.0/8"))) == []
+
+    def test_default_route_overlaps_everything(self):
+        trie = PrefixTrie()
+        rules = [rule(f"{i}.0.0.0/8", i) for i in range(1, 6)]
+        for r in rules:
+            trie.insert(r.match.to_prefix(), r)
+        found = list(trie.overlapping(Prefix.default_route()))
+        assert len(found) == 5
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(prefixes_10slash8(), min_size=1, max_size=20), prefixes_10slash8())
+    def test_overlapping_agrees_with_linear_scan(self, stored, query):
+        trie = PrefixTrie()
+        rules = []
+        for index, prefix in enumerate(stored):
+            r = Rule.from_prefix(prefix, index + 1, Action.output(1))
+            trie.insert(prefix, r)
+            rules.append(r)
+        expected = {
+            r.rule_id for r in rules if r.match.to_prefix().overlaps(query)
+        }
+        found = {r.rule_id for r in trie.overlapping(query)}
+        assert found == expected
+
+
+class TestPrefixRuleIndex:
+    def test_add_discard_roundtrip(self):
+        index = PrefixRuleIndex()
+        r = rule("10.0.0.0/8", 1)
+        index.add(r)
+        assert len(index) == 1
+        assert index.discard(r.rule_id)
+        assert not index.discard(r.rule_id)
+        assert len(index) == 0
+
+    def test_duplicate_add_rejected(self):
+        index = PrefixRuleIndex()
+        r = rule("10.0.0.0/8", 1)
+        index.add(r)
+        with pytest.raises(ValueError):
+            index.add(r)
+
+    def test_non_prefix_rules_indexed_too(self):
+        index = PrefixRuleIndex()
+        ternary = Rule(
+            match=TernaryMatch(value=1, mask=1, width=32),  # low bit set
+            priority=9,
+            action=Action.output(2),
+        )
+        index.add(ternary)
+        probe = rule("0.0.0.0/0", 1)
+        assert ternary.rule_id in {r.rule_id for r in index.overlapping(probe)}
+        assert index.discard(ternary.rule_id)
+
+    def test_blockers_filter_by_priority(self):
+        index = PrefixRuleIndex()
+        low = rule("10.0.0.0/8", 10)
+        high = rule("10.0.0.0/16", 90)
+        index.add(low)
+        index.add(high)
+        query = rule("10.0.0.0/12", 50)
+        blockers = index.blockers_for(query)
+        assert [b.rule_id for b in blockers] == [high.rule_id]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(prefixes_10slash8(), st.integers(min_value=1, max_value=99)),
+            min_size=1,
+            max_size=15,
+        ),
+        prefixes_10slash8(),
+        st.integers(min_value=1, max_value=99),
+    )
+    def test_blockers_agree_with_detect_overlaps(self, stored, query_prefix, query_prio):
+        from repro.core import detect_overlaps
+
+        index = PrefixRuleIndex()
+        rules = []
+        for prefix, priority in stored:
+            r = Rule.from_prefix(prefix, priority, Action.output(1))
+            index.add(r)
+            rules.append(r)
+        query = Rule.from_prefix(query_prefix, query_prio, Action.output(2))
+        expected = {r.rule_id for r in detect_overlaps(query, rules)}
+        found = {r.rule_id for r in index.blockers_for(query)}
+        assert found == expected

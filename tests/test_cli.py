@@ -1,0 +1,67 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.simulator.__main__ import build_parser, main as simulator_main
+
+
+class TestExperimentsCli:
+    def test_runs_one_fast_experiment(self, capsys):
+        assert experiments_main(["fig14"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 14" in output
+        assert "overhead" in output
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert experiments_main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_multiple_experiments(self, capsys):
+        assert experiments_main(["table1", "fig14"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Figure 14" in output
+
+
+class TestSimulatorCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.topology == "fat-tree"
+        assert args.scheme == "naive"
+        assert not args.reactive
+
+    def test_parser_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scheme", "magic"])
+
+    def test_tiny_fat_tree_run(self, capsys):
+        code = simulator_main(
+            [
+                "--topology", "fat-tree", "--k", "4", "--jobs", "3",
+                "--scheme", "hermes", "--occupancy", "100",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "completed flows" in output
+        assert "JCT" in output
+
+    def test_tiny_isp_run(self, capsys):
+        code = simulator_main(
+            [
+                "--topology", "abilene", "--duration", "0.5",
+                "--scheme", "naive", "--switch", "dell-8132f",
+                "--occupancy", "50",
+            ]
+        )
+        assert code == 0
+        assert "RIT" in capsys.readouterr().out
+
+    def test_reactive_flag(self, capsys):
+        code = simulator_main(
+            [
+                "--topology", "fat-tree", "--k", "4", "--jobs", "2",
+                "--reactive", "--occupancy", "0", "--switch", "ideal",
+            ]
+        )
+        assert code == 0

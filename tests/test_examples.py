@@ -1,0 +1,57 @@
+"""Smoke tests: the example scripts run and tell their stories.
+
+Only the fast examples execute here (the TE comparison takes a minute and
+is covered by the Figure 1/8/9 benchmarks); the rest are import-checked.
+"""
+
+import importlib.util
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py")
+        assert "guarantee violations: 0" in output
+        assert "5 ms guarantee" in output
+
+    def test_multitable_acl(self):
+        output = run_example("multitable_acl.py")
+        assert "guaranteed path: True" in output
+        assert "tenant -> output:4" in output
+
+    def test_bgp_router(self):
+        output = run_example("bgp_router.py")
+        assert "Hermes (5 ms)" in output
+        assert "RIB -> FIB" in output
+
+
+class TestAllExamplesParse:
+    @pytest.mark.parametrize(
+        "name",
+        sorted(path.name for path in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_imports(self, name):
+        spec = importlib.util.spec_from_file_location(
+            f"example_{name[:-3]}", EXAMPLES_DIR / name
+        )
+        module = importlib.util.module_from_spec(spec)
+        # Import executes top-level code only; main() is __main__-guarded.
+        spec.loader.exec_module(module)
+        assert hasattr(module, "main")

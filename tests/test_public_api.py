@@ -1,0 +1,67 @@
+"""Public-API hygiene: everything exported exists and is documented."""
+
+import inspect
+
+import pytest
+
+import repro
+import repro.analysis
+import repro.baselines
+import repro.bgp
+import repro.core
+import repro.experiments
+import repro.simulator
+import repro.switchsim
+import repro.tcam
+import repro.topology
+import repro.traffic
+
+PACKAGES = [
+    repro,
+    repro.analysis,
+    repro.baselines,
+    repro.bgp,
+    repro.core,
+    repro.simulator,
+    repro.switchsim,
+    repro.tcam,
+    repro.topology,
+    repro.traffic,
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+def test_all_exports_resolve(package):
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package.__name__} should declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package.__name__}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+def test_exports_are_documented(package):
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert inspect.getdoc(obj), f"{package.__name__}.{name} lacks a docstring"
+
+
+@pytest.mark.parametrize("package", PACKAGES, ids=lambda p: p.__name__)
+def test_package_has_docstring(package):
+    assert package.__doc__ and package.__doc__.strip()
+
+
+def test_public_class_methods_are_documented():
+    """Every public method of the flagship classes carries a docstring."""
+    from repro import HermesInstaller, Simulation, SwitchAgent
+    from repro.tcam import TcamTable
+
+    for cls in (HermesInstaller, Simulation, SwitchAgent, TcamTable):
+        for name, member in inspect.getmembers(cls, predicate=inspect.isfunction):
+            if name.startswith("_"):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"
+
+
+def test_version_string():
+    assert repro.__version__.count(".") == 2

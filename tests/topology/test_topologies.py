@@ -1,0 +1,143 @@
+"""Tests for fat-tree and ISP topologies plus the path provider."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    FatTreeSpec,
+    PathProvider,
+    abilene,
+    build_fat_tree,
+    geant,
+    get_isp_topology,
+    hosts,
+    path_links,
+    path_switches,
+    pops,
+    quest,
+    switches,
+)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        assert len(hosts(graph)) == 16
+        assert len(switches(graph)) == 20  # 4 core + 8 agg + 8 edge
+
+    def test_spec_counts_formulas(self):
+        spec = FatTreeSpec(k=16)
+        assert spec.host_count == 1024
+        assert spec.switch_count == 320
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            FatTreeSpec(k=5)
+
+    def test_connected(self):
+        assert nx.is_connected(build_fat_tree(FatTreeSpec(k=4)))
+
+    def test_host_degree_is_one(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        for host in hosts(graph):
+            assert graph.degree(host) == 1
+
+    def test_edge_switch_degree(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        # Each edge switch: k/2 hosts + k/2 aggregation uplinks.
+        assert graph.degree("edge-0-0") == 4
+
+    def test_core_connects_to_every_pod(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        neighbors = set(graph.neighbors("core-0"))
+        pods_reached = {graph.nodes[n]["pod"] for n in neighbors}
+        assert pods_reached == {0, 1, 2, 3}
+
+    def test_links_carry_capacity(self):
+        spec = FatTreeSpec(k=4, link_capacity=40e9)
+        graph = build_fat_tree(spec)
+        for _, _, data in graph.edges(data=True):
+            assert data["capacity"] == 40e9
+
+    def test_inter_pod_path_length(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        # host -> edge -> agg -> core -> agg -> edge -> host: 6 hops.
+        path = nx.shortest_path(graph, "host-0-0-0", "host-3-1-1")
+        assert len(path) == 7
+
+
+class TestIspTopologies:
+    @pytest.mark.parametrize(
+        "factory,node_count",
+        [(abilene, 11), (geant, 24), (quest, 21)],
+    )
+    def test_node_counts(self, factory, node_count):
+        assert factory().number_of_nodes() == node_count
+
+    @pytest.mark.parametrize("factory", [abilene, geant, quest])
+    def test_connected(self, factory):
+        assert nx.is_connected(factory())
+
+    def test_abilene_link_count(self):
+        assert abilene().number_of_edges() == 14
+
+    def test_registry(self):
+        assert get_isp_topology("Abilene").number_of_nodes() == 11
+        with pytest.raises(KeyError):
+            get_isp_topology("arpanet")
+
+    def test_pops_sorted(self):
+        names = pops(abilene())
+        assert names == sorted(names)
+
+    def test_capacity_override(self):
+        graph = abilene(link_capacity=2.5e9)
+        for _, _, data in graph.edges(data=True):
+            assert data["capacity"] == 2.5e9
+
+
+class TestPathProvider:
+    @pytest.fixture
+    def provider(self):
+        return PathProvider(build_fat_tree(FatTreeSpec(k=4)), k_paths=4)
+
+    def test_shortest_path_endpoints(self, provider):
+        path = provider.shortest_path("host-0-0-0", "host-1-0-0")
+        assert path[0] == "host-0-0-0" and path[-1] == "host-1-0-0"
+
+    def test_k_paths_are_distinct_and_sorted(self, provider):
+        paths = provider.paths("host-0-0-0", "host-3-1-1")
+        assert len(paths) == 4
+        assert len(set(paths)) == 4
+        lengths = [len(p) for p in paths]
+        assert lengths == sorted(lengths)
+
+    def test_ecmp_subset(self, provider):
+        ecmp = provider.ecmp_paths("host-0-0-0", "host-3-1-1")
+        assert len(ecmp) == 4  # k=4 fat tree: 4 equal-cost core paths
+
+    def test_cache_symmetric(self, provider):
+        forward = provider.paths("host-0-0-0", "host-1-0-0")
+        backward = provider.paths("host-1-0-0", "host-0-0-0")
+        assert backward[0] == tuple(reversed(forward[0]))
+
+    def test_intra_pod_ecmp(self, provider):
+        ecmp = provider.ecmp_paths("host-0-0-0", "host-0-1-0")
+        assert len(ecmp) == 2  # two aggregation switches per pod
+
+    def test_invalid_k_paths(self):
+        with pytest.raises(ValueError):
+            PathProvider(abilene(), k_paths=0)
+
+
+class TestPathHelpers:
+    def test_path_links_canonical(self):
+        links = path_links(("b", "a", "c"))
+        assert links == [("a", "b"), ("a", "c")]
+
+    def test_path_switches_excludes_hosts(self):
+        graph = build_fat_tree(FatTreeSpec(k=4))
+        path = nx.shortest_path(graph, "host-0-0-0", "host-1-0-0")
+        only_switches = path_switches(tuple(path), graph)
+        assert only_switches[0].startswith("edge-")
+        assert all(not node.startswith("host-") for node in only_switches)
