@@ -1,0 +1,40 @@
+"""Benchmark for the chaos (lossy control channel) extension experiment."""
+
+from repro.experiments import chaos
+
+from .conftest import run_and_render
+
+
+def test_bench_chaos(benchmark):
+    result = run_and_render(benchmark, chaos.run)
+    # rows: (scheme, drop rate, installs, retries, injected, lost, dups,
+    #        invariant violations, blackhole ms)
+    by_cell = {(row[0], row[1]): row for row in result.rows}
+
+    for (scheme, drop_rate), row in by_cell.items():
+        installs, retries, injected, lost, dups, invariant = row[2:8]
+        # Nobody ever corrupts the TCAM: no duplicate entries, and the
+        # partition invariant holds in every cell.
+        assert dups == 0, (scheme, drop_rate)
+        assert invariant == 0, (scheme, drop_rate)
+        if "resilient" in scheme:
+            # The headline guarantee: resilient delivery loses nothing.
+            assert lost == 0, (scheme, drop_rate)
+            if drop_rate > 0:
+                assert injected > 0 and retries > 0
+        elif drop_rate >= 0.1:
+            # Fire-and-forget loses installs once the channel is lossy.
+            assert lost > 0, (scheme, drop_rate)
+
+    # Resilience is free when the channel is clean: at drop rate 0 the
+    # resilient channel performs the same installs with zero retries
+    # (overhead bounded well under the 5% budget — it is identical work).
+    for base, hardened in (
+        ("raw switch", "raw + resilient"),
+        ("Hermes", "Hermes + resilient"),
+    ):
+        naive_row = by_cell[(base, 0.0)]
+        resilient_row = by_cell[(hardened, 0.0)]
+        assert resilient_row[2] == naive_row[2]  # identical install counts
+        assert resilient_row[3] == 0  # no retries
+        assert resilient_row[5] == 0  # nothing lost

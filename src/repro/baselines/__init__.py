@@ -18,14 +18,17 @@ from .tango import TangoInstaller
 INSTALLER_NAMES = ("naive", "espres", "tango", "shadowswitch", "hermes")
 
 
-def make_installer(name, timing, rng=None, hermes_config=None):
+def make_installer(name, timing, rng=None, hermes_config=None, injector=None):
     """Build an installer by name over the given switch timing model.
 
-    ``hermes_config`` is only consulted for ``name="hermes"``.
+    ``hermes_config`` is only consulted for ``name="hermes"``.  ``injector``
+    (a :class:`~repro.faults.injector.FaultInjector`) routes TCAM writes
+    through the fault model for the schemes that support it — naive and
+    Hermes, the pair the chaos experiments compare.
     """
     key = name.strip().lower()
     if key == "naive":
-        return NaiveInstaller(timing, rng=rng)
+        return NaiveInstaller(timing, rng=rng, injector=injector)
     if key == "espres":
         return EspresInstaller(timing, rng=rng)
     if key == "tango":
@@ -35,7 +38,7 @@ def make_installer(name, timing, rng=None, hermes_config=None):
     if key == "hermes":
         from ..core.hermes import HermesInstaller
 
-        return HermesInstaller(timing, config=hermes_config, rng=rng)
+        return HermesInstaller(timing, config=hermes_config, rng=rng, injector=injector)
     raise KeyError(
         f"unknown installer {name!r}; known: {', '.join(INSTALLER_NAMES)}"
     )

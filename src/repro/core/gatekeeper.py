@@ -52,6 +52,10 @@ class TokenBucket:
         return self._tokens
 
     def _refill(self, now: float) -> None:
+        if now < self._last_refill:
+            raise ValueError(
+                f"time went backwards: {now} < {self._last_refill}"
+            )
         if now > self._last_refill:
             if math.isinf(self.rate):
                 self._tokens = self.burst
@@ -62,11 +66,18 @@ class TokenBucket:
             self._last_refill = now
 
     def try_consume(self, now: float, amount: float = 1.0) -> bool:
-        """Spend ``amount`` tokens at time ``now``; False when insufficient."""
+        """Spend ``amount`` tokens at time ``now``; False when insufficient.
+
+        Raises:
+            ValueError: when ``amount`` is not positive, or ``now`` precedes
+                the last refill (the bucket assumes monotonic time).
+        """
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
         self._refill(now)
         if self._tokens + 1e-12 >= amount:
             self._tokens -= amount
-            return False if amount < 0 else True
+            return True
         return False
 
 
@@ -95,7 +106,7 @@ class GateDecision:
         use_shadow: True for the guaranteed path.
         reason: one of ``"guaranteed"``, ``"predicate-miss"``,
             ``"rate-limited"``, ``"lowest-priority-fastpath"``,
-            ``"shadow-full"``.
+            ``"shadow-full"``, ``"degraded"``.
     """
 
     use_shadow: bool
@@ -133,6 +144,7 @@ class GateKeeper:
         *,
         shadow_has_room: bool,
         main_lowest_priority: Optional[int],
+        degraded: bool = False,
     ) -> GateDecision:
         """Decide the insertion path for one rule.
 
@@ -142,11 +154,17 @@ class GateKeeper:
             shadow_has_room: False when the shadow table is at capacity.
             main_lowest_priority: the smallest priority currently in the
                 main table, or None when the main table is empty.
+            degraded: True while the installer cannot honor guarantees
+                (shadow unavailable, or the control channel's circuit
+                breaker is open) — guaranteed rules demote to best-effort
+                rather than pretending.
 
         Returns:
             The routing decision, with the dominating reason.
         """
-        decision = self._decide(rule, now, shadow_has_room, main_lowest_priority)
+        decision = self._decide(
+            rule, now, shadow_has_room, main_lowest_priority, degraded
+        )
         if decision.use_shadow:
             self.admitted += 1
         else:
@@ -162,9 +180,12 @@ class GateKeeper:
         now: float,
         shadow_has_room: bool,
         main_lowest_priority: Optional[int],
+        degraded: bool = False,
     ) -> GateDecision:
         if not self.predicate(rule):
             return GateDecision(use_shadow=False, reason="predicate-miss")
+        if degraded:
+            return GateDecision(use_shadow=False, reason="degraded")
         if (
             self.lowest_priority_fastpath
             and main_lowest_priority is not None

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..faults.table import FaultyTable, verified_insert
 from ..switchsim.installer import RuleInstaller
 from ..switchsim.messages import FlowMod, FlowModCommand, FlowModResult
 from ..tcam.rule import Rule
@@ -89,6 +90,10 @@ class HermesConfig:
         partition_latency_budget: modelled software cost, per main-table
             rule examined, of Algorithm 1's overlap scan (Fig 15(b) shows
             the insertion-side algorithms are cheap; this keeps them so).
+        degraded_window: how long (seconds) Hermes stays degraded after the
+            control channel's circuit breaker opens — guaranteed rules
+            demote to best-effort for this window rather than pretending
+            the guarantee still holds.
     """
 
     guarantee: GuaranteeSpec = field(default_factory=lambda: GuaranteeSpec.milliseconds(5))
@@ -105,6 +110,7 @@ class HermesConfig:
     shadow_capacity: Optional[int] = None
     partition_latency_budget: float = 2e-7
     auto_tune: bool = False
+    degraded_window: float = 1.0
 
     def build_corrector(self) -> Corrector:
         """Instantiate the configured corrector."""
@@ -139,6 +145,7 @@ class HermesInstaller(RuleInstaller):
         config: Optional[HermesConfig] = None,
         predicate: MatchPredicate = match_all,
         rng: Optional[np.random.Generator] = None,
+        injector=None,
     ) -> None:
         """Carve the switch's TCAM and assemble the Hermes components.
 
@@ -147,6 +154,12 @@ class HermesInstaller(RuleInstaller):
             config: Hermes tunables; defaults to the paper's configuration.
             predicate: selects which rules receive guarantees.
             rng: optional generator enabling latency noise.
+            injector: optional :class:`~repro.faults.injector.FaultInjector`.
+                When given, slice writes go through fault-wrapped tables,
+                every insert is verified against the fault log and
+                re-issued on loss, and the Rule Manager verifies its
+                migrations (the partition invariant survives silent write
+                failures).  None keeps the fault-free hot path untouched.
 
         Raises:
             ValueError: when the requested guarantee is infeasible on this
@@ -154,6 +167,9 @@ class HermesInstaller(RuleInstaller):
         """
         self.timing = timing
         self.config = config if config is not None else HermesConfig()
+        self.injector = injector
+        self._now = 0.0
+        self._degraded_until: Optional[float] = None
         shadow_capacity = (
             self.config.shadow_capacity
             if self.config.shadow_capacity is not None
@@ -174,6 +190,22 @@ class HermesInstaller(RuleInstaller):
             ],
             rng=rng,
         )
+        # The tables every Hermes component writes through.  With an
+        # injector they are fault-wrapped proxies over the carved slices
+        # (recarve mutates the slice in place, so the wrappers stay valid
+        # across reconfiguration); without one they are the slices
+        # themselves and no fault machinery touches the hot path.
+        if injector is not None:
+            clock = lambda: self._now  # noqa: E731
+            self._shadow_table = FaultyTable(
+                self.tcam.slice("shadow"), injector, clock=clock
+            )
+            self._main_table = FaultyTable(
+                self.tcam.slice("main"), injector, clock=clock
+            )
+        else:
+            self._shadow_table = self.tcam.slice("shadow")
+            self._main_table = self.tcam.slice("main")
         self.partition_map = PartitionMap()
         # Overlap index over the main table, kept in lock-step through the
         # table's change notifications: Algorithm 1's DetectOverlap runs in
@@ -189,6 +221,8 @@ class HermesInstaller(RuleInstaller):
             epoch=self.config.epoch,
             optimize=self.config.optimize_migration,
             atomic=self.config.atomic_migration,
+            verify_writes=injector is not None,
+            fault_log=injector.log if injector is not None else None,
         )
         bucket = None
         if self.config.admission_control:
@@ -201,7 +235,7 @@ class HermesInstaller(RuleInstaller):
         self.violations = 0
         self.near_violations = 0
         self.guaranteed_inserts = 0
-        self._now = 0.0
+        self.degraded_inserts = 0
         self.auto_tuner = None
         if self.config.auto_tune:
             trigger = self.rule_manager.trigger
@@ -222,13 +256,45 @@ class HermesInstaller(RuleInstaller):
     # ------------------------------------------------------------------
     @property
     def shadow(self) -> TcamTable:
-        """The small guaranteed-insertion slice."""
-        return self.tcam.slice("shadow")
+        """The small guaranteed-insertion slice (fault-wrapped if injecting)."""
+        return self._shadow_table
 
     @property
     def main(self) -> TcamTable:
-        """The large best-effort slice."""
-        return self.tcam.slice("main")
+        """The large best-effort slice (fault-wrapped if injecting)."""
+        return self._main_table
+
+    def _table(self, slice_name: str) -> TcamTable:
+        """The write path for a slice located via ``tcam.find_rule``."""
+        return self._shadow_table if slice_name == "shadow" else self._main_table
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def enter_degraded(self, now: float, duration: Optional[float] = None) -> None:
+        """Suspend guarantees for ``duration`` seconds (default: the
+        configured ``degraded_window``).
+
+        Wired to the resilient channel's ``on_breaker_open`` callback: when
+        the switch stops acking, pretending the shadow path still meets its
+        latency bound would be a lie — new guarantee-eligible rules demote
+        to best-effort instead, with the honest ``"degraded"`` reason.
+        """
+        window = duration if duration is not None else self.config.degraded_window
+        until = now + window
+        if self._degraded_until is None or until > self._degraded_until:
+            self._degraded_until = until
+        if self.injector is not None:
+            self.injector.log.record("degraded-enter", time=now, until=until)
+
+    def is_degraded(self, now: float) -> bool:
+        """True while guarantees are suspended."""
+        if self._degraded_until is None:
+            return False
+        if now >= self._degraded_until:
+            self._degraded_until = None
+            return False
+        return True
 
     def supported_rate(self) -> float:
         """Equation 2: the insertion rate Hermes commits to supporting."""
@@ -341,10 +407,11 @@ class HermesInstaller(RuleInstaller):
 
         This is where the Rule Manager would have migrated them anyway;
         installing them directly avoids polluting violation statistics with
-        warm-up traffic.
+        warm-up traffic.  Prefill writes the raw slice: faults model the
+        measured run, not the preexisting table state.
         """
         for rule in rules:
-            self.main.insert(rule)
+            self.tcam.slice("main").insert(rule)
 
     # ------------------------------------------------------------------
     # ADD
@@ -363,19 +430,22 @@ class HermesInstaller(RuleInstaller):
             main_lowest_priority=(
                 self.main.lowest_priority if fastpath_safe else None
             ),
+            degraded=self.is_degraded(self._now),
         )
+        if decision.reason == "degraded":
+            self.degraded_inserts += 1
         if not decision.use_shadow:
             # Diverted inserts are still offered load: the predictor must
             # see them or a full shadow looks like a quiet workload.
             self.rule_manager.note_arrival(1)
-            result = self.main.insert(rule)
+            result_latency = self._insert_resilient(self.main, rule)
             # A higher-priority rule landing in the main table can newly
             # dominate lower-priority rules resident in the shadow — the
             # mirror image of the Figure 4 hazard.  Re-partition those
             # shadow rules against the updated main table.
             repartition_latency = self._repartition_shadow_against(rule)
             return FlowModResult(
-                latency=result.latency + repartition_latency,
+                latency=result_latency + repartition_latency,
                 installed_rule_ids=(rule.rule_id,),
                 used_guaranteed_path=False,
             )
@@ -389,9 +459,9 @@ class HermesInstaller(RuleInstaller):
             if self.shadow.is_full:
                 # Defensive overflow path: the remainder of an oversized
                 # fragment family lands in the main table (best effort).
-                latency += self.main.insert(fragment).latency
+                latency += self._insert_resilient(self.main, fragment)
             else:
-                latency += self.shadow.insert(fragment).latency
+                latency += self._insert_resilient(self.shadow, fragment)
             installed.append(fragment.rule_id)
         if outcome.was_partitioned:
             self.partition_map.record(rule, outcome)
@@ -439,7 +509,7 @@ class HermesInstaller(RuleInstaller):
         if located is None:
             return 0.0
         slice_name, _rule = located
-        latency = self.tcam.slice(slice_name).delete(rule_id).latency
+        latency = self._table(slice_name).delete(rule_id).latency
         if slice_name == "main":
             # Figure 6's un-partition is delete-the-fragments *and*
             # add-back-the-original; the stale fragments must go first or
@@ -491,9 +561,29 @@ class HermesInstaller(RuleInstaller):
         )
         for fragment in outcome.fragments:
             table = self.main if self.shadow.is_full else self.shadow
-            latency += table.insert(fragment).latency
+            latency += self._insert_resilient(table, fragment)
         if outcome.was_partitioned:
             self.partition_map.record(original, outcome)
+        return latency
+
+    def _insert_resilient(self, table, rule: Rule) -> float:
+        """Insert, surviving injected write faults.
+
+        Fault-free installs (no injector) are a plain ``insert`` — byte
+        identical to the seed.  Under injection the write is verified and
+        re-issued; an install that stays lost after the retry budget is
+        recorded in the fault log so experiments can count it.
+        """
+        if self.injector is None:
+            return table.insert(rule).latency
+        latency, ok = verified_insert(table, rule)
+        if not ok:
+            self.injector.log.record(
+                "install-lost",
+                time=self._now,
+                target=table.name,
+                rule_id=rule.rule_id,
+            )
         return latency
 
     # ------------------------------------------------------------------
@@ -510,7 +600,7 @@ class HermesInstaller(RuleInstaller):
             latency = 0.0
             for slice_name, physical_id in self._physical_entries(rule_id):
                 latency += (
-                    self.tcam.slice(slice_name)
+                    self._table(slice_name)
                     .modify(physical_id, action=flow_mod.new_action)
                     .latency
                 )

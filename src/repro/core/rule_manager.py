@@ -28,6 +28,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..faults.table import TcamWriteError, verified_insert
 from ..tcam.rule import Rule
 from ..tcam.table import TcamTable
 from ..tcam.ternary import TernaryMatch
@@ -51,6 +52,9 @@ class MigrationReport:
         write_time: step-3 share of the duration.
         transient_gap_time: seconds during which some key was transiently
             uncovered — always 0 under atomic migration.
+        rules_reissued: step-3 writes that had to be re-issued because the
+            TCAM write failed (visibly or silently) under fault injection —
+            always 0 without an injector.
     """
 
     started_at: float
@@ -61,6 +65,7 @@ class MigrationReport:
     optimizer_time: float
     write_time: float
     transient_gap_time: float = 0.0
+    rules_reissued: int = 0
 
 
 class MigrationTrigger(abc.ABC):
@@ -153,6 +158,8 @@ class RuleManager:
         atomic: bool = True,
         optimizer_unit_cost: float = 2e-6,
         copy_unit_cost: float = 1e-7,
+        verify_writes: bool = False,
+        fault_log=None,
     ) -> None:
         """Wire the manager to its tables.
 
@@ -168,6 +175,12 @@ class RuleManager:
             optimizer_unit_cost: seconds of CPU per rule-sqrt(rules) unit of
                 optimizer work (calibrates the Fig 15(b) curve).
             copy_unit_cost: seconds per rule for the step-1 copy.
+            verify_writes: check every step-3 write against the table and
+                re-issue lost ones — required under fault injection, where
+                a write can silently no-op and break the partition
+                invariant (a migrated rule the main table never received).
+            fault_log: optional :class:`~repro.faults.log.FaultLog` to
+                record re-issues and permanently lost writes into.
         """
         if epoch <= 0:
             raise ValueError(f"epoch must be positive, got {epoch}")
@@ -180,6 +193,9 @@ class RuleManager:
         self.atomic = atomic
         self.optimizer_unit_cost = optimizer_unit_cost
         self.copy_unit_cost = copy_unit_cost
+        self.verify_writes = verify_writes
+        self.fault_log = fault_log
+        self.reissued_writes = 0
         self.migrations: List[MigrationReport] = []
         self._arrivals_this_epoch = 0
         self._epoch_start = 0.0
@@ -240,7 +256,7 @@ class RuleManager:
         if self.atomic:
             # Steps 3 then 4: the shadow is emptied only after the main
             # table holds everything (migration-consistency, Section 5.2).
-            write_time, gap_time = self._write_to_main(optimized)
+            write_time, gap_time, reissued = self._write_to_main(optimized, now)
             clear_time = self.shadow.clear().latency
         else:
             # The naive ordering the paper warns against: clear first,
@@ -248,7 +264,7 @@ class RuleManager:
             # clear until its own write lands; the summed uncovered time is
             # the consistency cost the atomic protocol eliminates.
             clear_time = self.shadow.clear().latency
-            write_time, duplicate_gap = self._write_to_main(optimized)
+            write_time, duplicate_gap, reissued = self._write_to_main(optimized, now)
             gap_time = duplicate_gap + len(optimized) * clear_time
             cumulative = 0.0
             for rule_index in range(len(optimized)):
@@ -260,9 +276,10 @@ class RuleManager:
         for rule in self._stranded:
             outcome = partition_new_rule(rule, self.main.rules())
             for fragment in outcome.fragments:
-                clear_time += self.shadow.insert(fragment).latency
+                clear_time += self._insert_shadow(fragment)
             if outcome.was_partitioned:
                 self.partition_map.record(rule, outcome)
+        self.reissued_writes += reissued
         report = MigrationReport(
             started_at=now,
             rules_copied=rules_copied,
@@ -272,6 +289,7 @@ class RuleManager:
             optimizer_time=optimizer_time,
             write_time=write_time,
             transient_gap_time=gap_time,
+            rules_reissued=reissued,
         )
         self.migrations.append(report)
         return report
@@ -365,16 +383,52 @@ class RuleManager:
         )
         return survivors
 
-    def _write_to_main(self, optimized: List[Rule]) -> Tuple[float, float]:
+    def _insert_shadow(self, rule: Rule) -> float:
+        """Insert a stranded fragment back into the shadow, surviving faults."""
+        if not self.verify_writes:
+            return self.shadow.insert(rule).latency
+        latency, ok = verified_insert(self.shadow, rule)
+        if not ok and self.fault_log is not None:
+            self.fault_log.record(
+                "migration-strand-lost", time=0.0, target=self.shadow.name,
+                rule_id=rule.rule_id,
+            )
+        return latency
+
+    def _insert_main(self, rule: Rule, planned: bool) -> Tuple[float, bool]:
+        """One main-table write attempt; returns (latency, visibly_ok).
+
+        A visible write fault is absorbed here (its latency still counts);
+        a *silent* one looks ok and is only caught by the post-batch
+        verification pass.
+        """
+        try:
+            return self.main.insert(rule, planned=planned).latency, True
+        except TcamWriteError as error:
+            return error.latency, False
+
+    def _write_to_main(self, optimized: List[Rule], now: float = 0.0) -> Tuple[float, float, int]:
         """Step 3: write rules into the main table.
 
-        Returns (write seconds, transient-gap seconds).  Rules whose id (or
-        whose whole-match twin) already exists in the main table are
-        refreshed via the atomic (insert-then-delete) or naive
-        (delete-then-insert) protocol.
+        Returns (write seconds, transient-gap seconds, writes re-issued).
+        Rules whose id (or whose whole-match twin) already exists in the
+        main table are refreshed via the atomic (insert-then-delete) or
+        naive (delete-then-insert) protocol.
+
+        With ``verify_writes`` every write is checked against the table
+        afterwards and lost ones are re-issued — Algorithm 1's partition
+        invariant rests on migrated rules actually being in the main table,
+        so a silently failed write left unrepaired would leave a shadow
+        resident believing its blocker moved when it never arrived.
         """
         write_time = 0.0
         gap_time = 0.0
+        reissued = 0
+        # (rule that must be resident afterwards, planned placement, stale
+        # duplicate to delete once the write verifies).  The atomic-refresh
+        # replacement carries a FRESH rule_id, so verification must track
+        # the replacement object, not the original id.
+        expected: List[Tuple[Rule, bool, Optional[int]]] = []
         # A planned (zero-shift) placement only exists for rules that do
         # not dominate a resident main-table entry; dominating rules must
         # physically sit above their victims and pay the online shifting
@@ -395,19 +449,53 @@ class RuleManager:
                 continue
             duplicate_id: Optional[int] = rule.rule_id if rule.rule_id in self.main else None
             if duplicate_id is None:
-                write_time += self.main.insert(rule, planned=planned).latency
+                latency, _visible_ok = self._insert_main(rule, planned)
+                write_time += latency
+                expected.append((rule, planned, None))
                 continue
             if self.atomic:
                 # Incremental update: the replacement goes in first (under a
                 # temporary id), the stale entry leaves second; every packet
-                # matches one of the two throughout.
+                # matches one of the two throughout.  When the insert
+                # visibly fails the stale entry is kept serving and its
+                # deletion deferred until the re-issue lands — deleting
+                # first would turn a failed refresh into a blackhole.
                 replacement = rule.with_match(rule.match)
-                insert_latency = self.main.insert(replacement, planned=planned).latency
-                delete_latency = self.main.delete(duplicate_id).latency
-                write_time += insert_latency + delete_latency
+                insert_latency, visible_ok = self._insert_main(replacement, planned)
+                write_time += insert_latency
+                if visible_ok:
+                    write_time += self.main.delete(duplicate_id).latency
+                    expected.append((replacement, planned, None))
+                else:
+                    expected.append((replacement, planned, duplicate_id))
             else:
                 delete_latency = self.main.delete(duplicate_id).latency
-                insert_latency = self.main.insert(rule, planned=planned).latency
+                insert_latency, _visible_ok = self._insert_main(rule, planned)
                 write_time += insert_latency + delete_latency
                 gap_time += insert_latency  # uncovered until re-inserted
-        return write_time, gap_time
+                expected.append((rule, planned, None))
+        if not self.verify_writes:
+            return write_time, gap_time, reissued
+        for rule, planned, stale_id in expected:
+            if rule.rule_id not in self.main:
+                if self.main.is_full:
+                    self._stranded.append(rule)
+                    continue
+                latency, ok = verified_insert(self.main, rule, planned=planned)
+                write_time += latency
+                reissued += 1
+                if self.fault_log is not None:
+                    self.fault_log.record(
+                        "migration-reissue", time=now, target=self.main.name,
+                        rule_id=rule.rule_id, recovered=ok,
+                    )
+                if not ok:
+                    # Persistent failure: if a stale twin still serves, the
+                    # logical rule stays covered; otherwise strand it back
+                    # to the shadow so it is not silently lost.
+                    if stale_id is None or stale_id not in self.main:
+                        self._stranded.append(rule)
+                    continue
+            if stale_id is not None and stale_id in self.main:
+                write_time += self.main.delete(stale_id).latency
+        return write_time, gap_time, reissued

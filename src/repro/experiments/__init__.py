@@ -9,6 +9,7 @@ from . import (
     ablation,
     autotune_exp,
     bgp_section,
+    chaos,
     failover,
     fig01_jct,
     fig08_rit,
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "ablation": ablation.run,
     "autotune": autotune_exp.run,
     "failover": failover.run,
+    "chaos": chaos.run,
 }
 
 

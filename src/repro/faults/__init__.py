@@ -1,0 +1,29 @@
+"""Fault injection: deterministic faults for the control plane and TCAM.
+
+The subsystem makes an unreliable substrate a first-class, *seedable* part
+of a run: composable fault specs (:class:`FaultPlan`), a single
+:class:`FaultInjector` drawing every fault decision from one seeded stream,
+a :class:`FaultLog` flight recorder, and :class:`FaultyTable` — a TCAM
+proxy whose writes can fail or silently no-op.  See ``docs/fault-model.md``
+for the taxonomy and the determinism contract.
+"""
+
+from .injector import ChannelVerdict, FaultInjector
+from .log import FaultEvent, FaultLog
+from .spec import AgentCrash, AgentStall, FaultPlan, FlowModFault, TcamWriteFault
+from .table import FaultyTable, TcamWriteError, verified_insert
+
+__all__ = [
+    "AgentCrash",
+    "AgentStall",
+    "ChannelVerdict",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultyTable",
+    "FlowModFault",
+    "TcamWriteError",
+    "TcamWriteFault",
+    "verified_insert",
+]

@@ -1,0 +1,69 @@
+"""The fault log: a flight recorder for every injected fault and recovery.
+
+Both the injector (faults going in) and the resilience machinery (retries,
+deduplications, re-issued writes coming back out) append to the same log,
+so a test or an experiment can reconcile the two sides: every injected loss
+should be matched by a retry or an explicit give-up, every silent write by
+a verified re-issue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault or recovery action.
+
+    Attributes:
+        time: simulation time of the event.
+        kind: event class, e.g. ``"flowmod-drop"``, ``"tcam-write-silent"``,
+            ``"retry"``, ``"write-reissue"``, ``"breaker-open"``.
+        target: the affected entity (switch or table name).
+        detail: free-form extra fields (xid, rule_id, attempt, ...).
+    """
+
+    time: float
+    kind: str
+    target: str = ""
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class FaultLog:
+    """Append-only record of fault events with counting queries."""
+
+    def __init__(self) -> None:
+        self._events: List[FaultEvent] = []
+        self._counts: Dict[str, int] = {}
+
+    def record(self, kind: str, time: float, target: str = "", **detail) -> None:
+        """Append one event."""
+        self._events.append(
+            FaultEvent(time=time, kind=kind, target=target, detail=dict(detail))
+        )
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def events(self, kind: Optional[str] = None) -> List[FaultEvent]:
+        """All events, optionally filtered to one kind, in record order."""
+        if kind is None:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return self._counts.get(kind, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        summary = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self._counts.items())
+        )
+        return f"FaultLog({summary or 'empty'})"

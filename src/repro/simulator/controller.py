@@ -16,6 +16,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import networkx as nx
 
 from ..switchsim.agent import SwitchAgent
+from ..switchsim.channel import (
+    Channel,
+    ChannelConfig,
+    NaiveChannel,
+    ResilientChannel,
+)
 from ..switchsim.installer import RuleInstaller
 from ..switchsim.messages import FlowMod, FlowModCommand
 from ..tcam.rule import Action, Rule
@@ -55,10 +61,16 @@ class InstallOutcome:
         ready_time: when the new path is fully programmed (all switches
             done) and the flow may switch over.
         per_switch_rits: rule-installation time at each switch touched.
+        retries: control-channel redeliveries this installation needed
+            (always 0 on the naive channel).
+        undelivered: FlowMods that never took effect on their switch —
+            blackholed installs on a lossy channel.
     """
 
     ready_time: float
     per_switch_rits: List[float] = field(default_factory=list)
+    retries: int = 0
+    undelivered: int = 0
 
 
 class SdnController:
@@ -69,6 +81,9 @@ class SdnController:
         graph: nx.Graph,
         installer_factory: InstallerFactory,
         control_rtt: float = 0.25e-3,
+        injector=None,
+        channel: str = "naive",
+        channel_config: Optional[ChannelConfig] = None,
     ) -> None:
         """Create agents for every switch in ``graph``.
 
@@ -78,16 +93,41 @@ class SdnController:
                 instance per switch) — this selects the scheme under test.
             control_rtt: controller<->switch round-trip in seconds
                 (data-center default 250 us; WAN experiments pass more).
+            injector: optional :class:`~repro.faults.injector.FaultInjector`
+                shared by every agent and channel of this controller.
+            channel: ``"naive"`` (fire-and-forget, the seed behaviour) or
+                ``"resilient"`` (retry/backoff/dedup/breaker).
+            channel_config: resilient-channel tunables; ignored for naive.
         """
         if control_rtt < 0:
             raise ValueError(f"control_rtt cannot be negative: {control_rtt}")
+        if channel not in ("naive", "resilient"):
+            raise ValueError(f"unknown channel kind: {channel!r}")
+        if channel == "resilient" and injector is None:
+            raise ValueError("the resilient channel requires a fault injector")
         self.graph = graph
         self.control_rtt = control_rtt
+        self.injector = injector
         self.agents: Dict[str, SwitchAgent] = {
-            node: SwitchAgent(installer_factory(node), name=node)
+            node: SwitchAgent(installer_factory(node), name=node, injector=injector)
             for node, data in graph.nodes(data=True)
             if data.get("kind") != "host"
         }
+        self.channels: Dict[str, Channel] = {}
+        for node, agent in self.agents.items():
+            if channel == "resilient":
+                # A breaker opening means the switch stopped acking — if the
+                # scheme can degrade (Hermes), tell it to stop promising.
+                enter_degraded = getattr(agent.installer, "enter_degraded", None)
+                self.channels[node] = ResilientChannel(
+                    agent,
+                    injector,
+                    config=channel_config,
+                    rng=injector.child_rng(f"channel:{node}"),
+                    on_breaker_open=enter_degraded,
+                )
+            else:
+                self.channels[node] = NaiveChannel(agent, injector=injector)
         # (flow_id, switch) -> installed rule id, for later deletion.
         self._flow_rules: Dict[Tuple[int, str], int] = {}
 
@@ -129,19 +169,33 @@ class SdnController:
         """
         ready = now
         rits: List[float] = []
+        retries = 0
+        undelivered = 0
         for switch in path_switches(path, self.graph):
             rule = Rule(
                 match=flow_match(flow),
                 priority=flow_rule_priority(flow),
                 action=Action.output(1),
             )
-            completed = self.agents[switch].submit(
+            sent = self.channels[switch].send(
                 FlowMod.add(rule), at_time=now + self.control_rtt / 2
             )
+            retries += sent.retries
+            if sent.completed is None:
+                # Lost install: the switch never programmed this hop, so
+                # packets of the flow blackhole there until repair.
+                undelivered += 1
+                ready = max(ready, sent.done_time + self.control_rtt / 2)
+                continue
             self._flow_rules[(flow.flow_id, switch)] = rule.rule_id
-            rits.append(completed.response_time)
-            ready = max(ready, completed.finish_time + self.control_rtt / 2)
-        return InstallOutcome(ready_time=ready, per_switch_rits=rits)
+            rits.append(sent.completed.response_time)
+            ready = max(ready, sent.done_time + self.control_rtt / 2)
+        return InstallOutcome(
+            ready_time=ready,
+            per_switch_rits=rits,
+            retries=retries,
+            undelivered=undelivered,
+        )
 
     def install_paths(
         self, assignments: Sequence[Tuple[FlowSpec, Path]], now: float
@@ -165,15 +219,31 @@ class SdnController:
                 per_switch.setdefault(switch, []).append((index, rule))
         outcomes = [InstallOutcome(ready_time=now) for _ in assignments]
         for switch, entries in per_switch.items():
-            completed = self.agents[switch].submit_batch(
+            sent = self.channels[switch].send_batch(
                 [FlowMod.add(rule) for _, rule in entries],
                 at_time=now + self.control_rtt / 2,
             )
-            for (index, _rule), action in zip(entries, completed):
+            if not sent.completed:
+                # The whole batch was lost: every assignment touching this
+                # switch is missing a hop, and no rule exists to delete.
+                for index, _rule in entries:
+                    flow_id = assignments[index][0].flow_id
+                    self._flow_rules.pop((flow_id, switch), None)
+                    outcomes[index].undelivered += 1
+                    outcomes[index].retries += sent.retries
+                continue
+            for (index, _rule), action in zip(entries, sent.completed):
                 outcome = outcomes[index]
                 outcome.per_switch_rits.append(action.response_time)
+                outcome.retries += sent.retries
+                # The resilient channel's ack can trail the last TCAM write
+                # (redelivery); the path is only usable once the controller
+                # has heard back.
+                done = action.finish_time
+                if sent.ack_time is not None:
+                    done = max(done, sent.ack_time)
                 outcome.ready_time = max(
-                    outcome.ready_time, action.finish_time + self.control_rtt / 2
+                    outcome.ready_time, done + self.control_rtt / 2
                 )
         return outcomes
 
@@ -188,7 +258,7 @@ class SdnController:
             if rule_id is None:
                 continue
             try:
-                self.agents[switch].submit(
+                self.channels[switch].send(
                     FlowMod.delete(rule_id), at_time=now + self.control_rtt / 2
                 )
             except KeyError:
@@ -218,3 +288,14 @@ class SdnController:
         for agent in self.agents.values():
             total += getattr(agent.installer, "violations", 0)
         return total
+
+    def total_channel_retries(self) -> int:
+        """Control-channel redeliveries across every switch."""
+        return sum(channel.stats.retries for channel in self.channels.values())
+
+    def total_channel_losses(self) -> int:
+        """Sends that never took effect (give-ups plus breaker fast-fails)."""
+        return sum(
+            channel.stats.give_ups + channel.stats.fast_fails
+            for channel in self.channels.values()
+        )

@@ -48,6 +48,9 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._flows: Dict[int, FlowRecord] = {}
         self._rits: List[float] = []
+        self._retries = 0
+        self._undelivered = 0
+        self._fault_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -71,6 +74,22 @@ class MetricsCollector:
     def record_rit(self, latency: float) -> None:
         """Record one rule installation time."""
         self._rits.append(latency)
+
+    def record_retries(self, count: int) -> None:
+        """Count control-channel redeliveries."""
+        if count < 0:
+            raise ValueError(f"retry count cannot be negative: {count}")
+        self._retries += count
+
+    def record_undelivered(self, count: int) -> None:
+        """Count FlowMods that never took effect on their switch."""
+        if count < 0:
+            raise ValueError(f"undelivered count cannot be negative: {count}")
+        self._undelivered += count
+
+    def record_fault(self, kind: str, count: int = 1) -> None:
+        """Count injected fault events by kind (mirrors the FaultLog)."""
+        self._fault_counts[kind] = self._fault_counts.get(kind, 0) + count
 
     # ------------------------------------------------------------------
     # Queries
@@ -120,3 +139,15 @@ class MetricsCollector:
     def total_reroutes(self) -> int:
         """TE path changes across all flows."""
         return sum(record.reroutes for record in self._flows.values())
+
+    def retry_total(self) -> int:
+        """Control-channel redeliveries across the run."""
+        return self._retries
+
+    def undelivered_total(self) -> int:
+        """FlowMods that never took effect across the run."""
+        return self._undelivered
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Injected fault events by kind."""
+        return dict(self._fault_counts)

@@ -19,6 +19,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..faults.injector import FaultInjector
+from ..faults.spec import FaultPlan
+from ..switchsim.channel import ChannelConfig
 from ..topology.routing import Path, PathProvider, path_links
 from ..traffic.flows import FlowSpec
 from .controller import InstallerFactory, SdnController
@@ -40,6 +43,14 @@ class SimulationConfig:
         baseline_occupancy: background rules pre-installed per switch —
             production tables are never empty, and occupancy is what makes
             TCAM inserts slow (Table 1).
+        channel: controller→switch delivery, ``"naive"`` (fire-and-forget,
+            the seed behaviour) or ``"resilient"`` (retry/backoff/dedup).
+        channel_config: resilient-channel tunables (None = defaults).
+        fault_plan: optional :class:`~repro.faults.spec.FaultPlan` injected
+            into every agent, table, and channel of the run.  None (or an
+            all-zero plan with the naive channel) leaves results
+            byte-identical to a fault-free run.
+        fault_seed: seed of the fault injector's random stream.
     """
 
     control_rtt: float = 0.25e-3
@@ -50,8 +61,16 @@ class SimulationConfig:
     initial_path_policy: str = "ecmp-hash"
     routing_mode: str = "proactive"
     link_failures: tuple = ()  # ((time, (node_a, node_b)), ...)
+    channel: str = "naive"
+    channel_config: Optional[ChannelConfig] = None
+    fault_plan: Optional[FaultPlan] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.channel not in ("naive", "resilient"):
+            raise ValueError(
+                f"channel must be 'naive' or 'resilient': {self.channel!r}"
+            )
         if self.initial_path_policy not in ("ecmp-hash", "static"):
             raise ValueError(
                 "initial_path_policy must be 'ecmp-hash' (hash flows over the "
@@ -88,6 +107,7 @@ class Simulation:
         flows: Sequence[FlowSpec],
         installer_factory: InstallerFactory,
         config: Optional[SimulationConfig] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         """Set up the run.
 
@@ -96,12 +116,27 @@ class Simulation:
             flows: the workload, in any order.
             installer_factory: per-switch TCAM-management scheme to test.
             config: run parameters (defaults are the data-center setup).
+            injector: explicit fault injector (e.g. one the installer
+                factory already shares); None builds one from
+                ``config.fault_plan``/``fault_seed`` when needed.
         """
         self.config = config if config is not None else SimulationConfig()
         self.graph = graph
         self.provider = PathProvider(graph, k_paths=self.config.k_paths)
+        if injector is None and (
+            self.config.fault_plan is not None or self.config.channel == "resilient"
+        ):
+            injector = FaultInjector(
+                plan=self.config.fault_plan, seed=self.config.fault_seed
+            )
+        self.injector = injector
         self.controller = SdnController(
-            graph, installer_factory, control_rtt=self.config.control_rtt
+            graph,
+            installer_factory,
+            control_rtt=self.config.control_rtt,
+            injector=injector,
+            channel=self.config.channel,
+            channel_config=self.config.channel_config,
         )
         if self.config.baseline_occupancy > 0:
             self.controller.prefill_switches(self.config.baseline_occupancy)
@@ -121,6 +156,20 @@ class Simulation:
         self.blackhole_time = 0.0  # flow-seconds spent on failed paths
         for failure_time, link in self.config.link_failures:
             self._schedule(failure_time, "fail", tuple(sorted(link)))
+
+    @property
+    def fault_log(self):
+        """The injector's fault log, or None on fault-free runs."""
+        return self.injector.log if self.injector is not None else None
+
+    def _record_outcome(self, outcome) -> None:
+        """Fold one installation outcome into the metrics."""
+        for rit in outcome.per_switch_rits:
+            self.metrics.record_rit(rit)
+        if outcome.retries:
+            self.metrics.record_retries(outcome.retries)
+        if outcome.undelivered:
+            self.metrics.record_undelivered(outcome.undelivered)
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -195,6 +244,9 @@ class Simulation:
             if not self._active and self._arrival_index >= len(self._arrivals):
                 if not any(event[2] in ("activate", "start") for event in self._events):
                     break
+        if self.injector is not None:
+            for kind, count in self.injector.log.counts().items():
+                self.metrics.record_fault(kind, count)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -229,8 +281,7 @@ class Simulation:
             # startup latency of reactive SDN applications.  The FCT clock
             # is already running.
             outcome = self.controller.install_path(spec, path, self.now)
-            for rit in outcome.per_switch_rits:
-                self.metrics.record_rit(rit)
+            self._record_outcome(outcome)
             self._schedule(
                 max(outcome.ready_time, self.now), "start", (spec, path)
             )
@@ -288,8 +339,7 @@ class Simulation:
             # the granularity at which ESPRES/Tango reorder and rewrite.
             outcomes = self.controller.install_paths(assignments, self.now)
             for move, outcome in zip(moves, outcomes):
-                for rit in outcome.per_switch_rits:
-                    self.metrics.record_rit(rit)
+                self._record_outcome(outcome)
                 self._active[move.flow_id].pending_activation = True
                 self._schedule(
                     max(outcome.ready_time, self.now),
@@ -350,8 +400,7 @@ class Simulation:
         ]
         outcomes = self.controller.install_paths(assignments, self.now)
         for (flow_id, path), outcome in zip(repairs, outcomes):
-            for rit in outcome.per_switch_rits:
-                self.metrics.record_rit(rit)
+            self._record_outcome(outcome)
             self._active[flow_id].pending_activation = True
             self._schedule(
                 max(outcome.ready_time, self.now), "activate", (flow_id, path)

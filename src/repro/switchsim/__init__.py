@@ -1,6 +1,16 @@
-"""Switch substrate: control messages, installers, pipeline, agent."""
+"""Switch substrate: control messages, installers, pipeline, agent, channel."""
 
-from .agent import AgentStats, CompletedAction, SwitchAgent
+from .agent import AgentDownError, AgentStats, CompletedAction, SwitchAgent
+from .channel import (
+    BatchSendOutcome,
+    Channel,
+    ChannelConfig,
+    ChannelStats,
+    NaiveChannel,
+    ResilientChannel,
+    SendOutcome,
+    SwitchUnreachable,
+)
 from .installer import DirectInstaller, RuleInstaller
 from .messages import FlowMod, FlowModCommand, FlowModResult
 from .pipeline import (
@@ -12,7 +22,12 @@ from .pipeline import (
 )
 
 __all__ = [
+    "AgentDownError",
     "AgentStats",
+    "BatchSendOutcome",
+    "Channel",
+    "ChannelConfig",
+    "ChannelStats",
     "CompletedAction",
     "DirectInstaller",
     "FlowMod",
@@ -20,9 +35,13 @@ __all__ = [
     "FlowModResult",
     "LookupTable",
     "MissBehavior",
+    "NaiveChannel",
     "Pipeline",
     "PipelineStage",
     "PipelineVerdict",
+    "ResilientChannel",
     "RuleInstaller",
+    "SendOutcome",
     "SwitchAgent",
+    "SwitchUnreachable",
 ]

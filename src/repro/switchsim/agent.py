@@ -10,11 +10,20 @@ effect behind the paper's Figure 11 time series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..tcam.rule import Rule
 from .installer import RuleInstaller
 from .messages import FlowMod, FlowModResult
+
+
+class AgentDownError(RuntimeError):
+    """The switch agent is crashed/restarting; the submission was lost.
+
+    Raised only when a fault injector with an :class:`~repro.faults.spec.AgentCrash`
+    schedule is attached.  The queued message is gone (queue loss); the
+    TCAM content is intact (table survives restarts).
+    """
 
 
 @dataclass(frozen=True)
@@ -43,19 +52,30 @@ class CompletedAction:
 
 @dataclass
 class AgentStats:
-    """Aggregate accounting across an agent's lifetime."""
+    """Aggregate accounting across an agent's lifetime.
+
+    ``busy_time`` (control-path execution) plus ``background_time`` (Rule
+    Manager work between actions) plus ``stall_time`` (injected CPU pauses)
+    decompose the agent's total wall-time spent off-idle.
+    """
 
     actions: int = 0
     guaranteed_actions: int = 0
     busy_time: float = 0.0
     background_time: float = 0.0
+    stall_time: float = 0.0
+    stalls: int = 0
+    deduplicated: int = 0
+    crash_losses: int = 0
 
-    def record(self, completed: CompletedAction) -> None:
-        """Fold one completed action into the counters."""
+    def record(self, completed: CompletedAction, background_time: float = 0.0) -> None:
+        """Fold one completed action (and any background work that ran
+        ahead of it) into the counters."""
         self.actions += 1
         if completed.result.used_guaranteed_path:
             self.guaranteed_actions += 1
         self.busy_time += completed.finish_time - completed.start_time
+        self.background_time += background_time
 
 
 class SwitchAgent:
@@ -69,13 +89,29 @@ class SwitchAgent:
     the control path.
     """
 
-    def __init__(self, installer: RuleInstaller, name: str = "switch") -> None:
-        """Wrap ``installer`` behind a serial control queue."""
+    def __init__(
+        self,
+        installer: RuleInstaller,
+        name: str = "switch",
+        injector=None,
+    ) -> None:
+        """Wrap ``installer`` behind a serial control queue.
+
+        Args:
+            installer: the TCAM-management scheme behind this agent.
+            name: switch name (used by the fault injector to scope faults).
+            injector: optional :class:`~repro.faults.injector.FaultInjector`
+                supplying CPU-stall and crash decisions; None models a
+                perfectly reliable agent.
+        """
         self.installer = installer
         self.name = name
+        self.injector = injector
         self.stats = AgentStats()
         self._busy_until = 0.0
         self._history: List[CompletedAction] = []
+        # xid -> prior outcome, for exactly-once redelivery semantics.
+        self._xid_cache: Dict[int, object] = {}
 
     @property
     def busy_until(self) -> float:
@@ -90,12 +126,32 @@ class SwitchAgent:
         """Per-action response times — the series the RIT CDFs are built from."""
         return [completed.response_time for completed in self._history]
 
+    def _check_faults(self, at_time: float) -> None:
+        """Consult the injector: crash loss raises, stalls push busy_until."""
+        if self.injector is None:
+            return
+        if self.injector.agent_down(self.name, at_time):
+            self.stats.crash_losses += 1
+            raise AgentDownError(f"{self.name}: agent down at t={at_time:.6f}")
+        stall = self.injector.stall_duration(self.name, at_time)
+        if stall > 0:
+            self._busy_until = max(self._busy_until, at_time) + stall
+            self.stats.stall_time += stall
+            self.stats.stalls += 1
+
     def submit(self, flow_mod: FlowMod, at_time: float = 0.0) -> CompletedAction:
         """Submit one FlowMod at simulation time ``at_time``.
 
         Returns the completed action with its queueing-inclusive timing.
+        A redelivered FlowMod (same xid as an already-applied one) is not
+        re-executed: the cached outcome is returned, so controller-side
+        retransmissions cannot double-install.
         """
-        self.stats.background_time += self.installer.advance_time(at_time)
+        if flow_mod.xid is not None and flow_mod.xid in self._xid_cache:
+            self.stats.deduplicated += 1
+            return self._xid_cache[flow_mod.xid]
+        self._check_faults(at_time)
+        background = self.installer.advance_time(at_time)
         start = max(at_time, self._busy_until)
         result = self.installer.apply(flow_mod)
         finish = start + result.latency
@@ -108,7 +164,9 @@ class SwitchAgent:
             finish_time=finish,
         )
         self._history.append(completed)
-        self.stats.record(completed)
+        self.stats.record(completed, background_time=background)
+        if flow_mod.xid is not None:
+            self._xid_cache[flow_mod.xid] = completed
         return completed
 
     def submit_batch(
@@ -118,13 +176,19 @@ class SwitchAgent:
 
         The installer may reorder or rewrite the batch (ESPRES / Tango);
         results are timed serially in the installer's execution order.
+        Batches are deduplicated as a unit by the xid of their first mod.
         """
-        self.stats.background_time += self.installer.advance_time(at_time)
+        batch_xid = flow_mods[0].xid if flow_mods else None
+        if batch_xid is not None and batch_xid in self._xid_cache:
+            self.stats.deduplicated += 1
+            return self._xid_cache[batch_xid]
+        self._check_faults(at_time)
+        background = self.installer.advance_time(at_time)
         start = max(at_time, self._busy_until)
         completed_actions: List[CompletedAction] = []
         results = self.installer.apply_batch(flow_mods)
         cursor = start
-        for flow_mod, result in zip(flow_mods, results):
+        for index, (flow_mod, result) in enumerate(zip(flow_mods, results)):
             finish = cursor + result.latency
             completed = CompletedAction(
                 flow_mod=flow_mod,
@@ -134,10 +198,16 @@ class SwitchAgent:
                 finish_time=finish,
             )
             completed_actions.append(completed)
-            self.stats.record(completed)
+            # The batch's background work is charged once, with its first
+            # action, so the decomposition stays additive.
+            self.stats.record(
+                completed, background_time=background if index == 0 else 0.0
+            )
             cursor = finish
         self._busy_until = cursor
         self._history.extend(completed_actions)
+        if batch_xid is not None:
+            self._xid_cache[batch_xid] = completed_actions
         return completed_actions
 
     def lookup(self, key: int) -> Optional[Rule]:

@@ -1,0 +1,380 @@
+"""The controller→switch control channel.
+
+The paper (and the seed reproduction) assume FlowMods always arrive.  This
+module makes the channel explicit so that assumption becomes a choice:
+
+* :class:`NaiveChannel` — the seed behaviour, verbatim: one delivery, no
+  retries, no randomness.  Runs through it are byte-identical to runs that
+  call :meth:`SwitchAgent.submit` directly.
+* :class:`ResilientChannel` — timeout + capped exponential backoff with
+  seeded jitter, xid-stamped FlowMods so agents can deduplicate
+  redeliveries (exactly-once installs even when only the ack was lost),
+  and a circuit breaker that declares the switch unreachable after N
+  consecutive timeouts (fast-failing until a cooldown, then probing
+  half-open).
+
+All timing is virtual: retries advance the *message's* clock, not the
+host's, so the resilient channel at drop-rate zero performs the same agent
+calls at the same simulated times as the naive one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.injector import FaultInjector
+from .agent import AgentDownError, CompletedAction, SwitchAgent
+from .messages import FlowMod
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Retry/backoff/breaker tunables of the resilient channel."""
+
+    timeout: float = 0.05
+    max_retries: int = 8
+    backoff_base: float = 0.005
+    backoff_cap: float = 0.25
+    jitter: float = 0.2
+    breaker_threshold: int = 8
+    breaker_cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries cannot be negative: {self.max_retries}")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff parameters cannot be negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be at least 1: {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown cannot be negative: {self.breaker_cooldown}"
+            )
+
+
+@dataclass
+class SendOutcome:
+    """Result of sending one FlowMod through a channel.
+
+    Attributes:
+        completed: the agent-side outcome, or None when the FlowMod never
+            took effect (dropped on every attempt, or breaker fast-fail).
+        attempts: delivery attempts made (0 for a breaker fast-fail).
+        done_time: when the controller learned the final status — the ack
+            time on success, the give-up time otherwise.
+        delivered: True when the controller received an ack.
+    """
+
+    completed: Optional[CompletedAction]
+    attempts: int
+    done_time: float
+    delivered: bool
+
+    @property
+    def applied(self) -> bool:
+        """True when the switch actually executed the FlowMod (it may have,
+        even unacked, when only the ack was lost)."""
+        return self.completed is not None
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first."""
+        return max(0, self.attempts - 1)
+
+
+@dataclass
+class BatchSendOutcome:
+    """Result of sending one FlowMod batch through a channel.
+
+    ``ack_time`` is None for the naive channel (the controller observes
+    each action's own finish time); the resilient channel sets it to the
+    instant the batch ack arrived, which retries can push past the last
+    action's finish time.
+    """
+
+    completed: List[CompletedAction] = field(default_factory=list)
+    attempts: int = 1
+    ack_time: Optional[float] = None
+    delivered: bool = True
+
+    @property
+    def applied(self) -> bool:
+        return bool(self.completed)
+
+    @property
+    def retries(self) -> int:
+        return max(0, self.attempts - 1)
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative channel accounting."""
+
+    sends: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    give_ups: int = 0
+    fast_fails: int = 0
+    breaker_opens: int = 0
+
+
+class Channel:
+    """Interface: deliver FlowMods to one switch agent."""
+
+    def send(self, flow_mod: FlowMod, at_time: float) -> SendOutcome:
+        raise NotImplementedError
+
+    def send_batch(
+        self, flow_mods: Sequence[FlowMod], at_time: float
+    ) -> BatchSendOutcome:
+        raise NotImplementedError
+
+
+class NaiveChannel(Channel):
+    """The seed's implicit channel: fire-and-forget, no retries.
+
+    Without an injector it is perfectly reliable and adds zero machinery —
+    byte-identical to calling the agent directly.  With one, FlowMods can
+    be dropped (lost forever — the naive scheme's defining weakness) or
+    delayed; there is no redelivery, so duplicates cannot arise and a lost
+    ack is indistinguishable from success.
+    """
+
+    def __init__(self, agent: SwitchAgent, injector: Optional[FaultInjector] = None) -> None:
+        self.agent = agent
+        self.injector = injector
+        self.stats = ChannelStats()
+
+    def _verdict_delay(self, at_time: float) -> Optional[float]:
+        """Extra delivery delay, or None when the FlowMod is dropped."""
+        if self.injector is None:
+            return 0.0
+        verdict = self.injector.flowmod_verdict(
+            now=at_time, target=self.agent.name, xid=None
+        )
+        # Only forward loss hurts a channel that never acks or redelivers:
+        # drop-ack still applies, and a duplicate has no first copy to
+        # conflict with dedup-wise (we deliver once).
+        if verdict.kind == "drop":
+            return None
+        return verdict.delay
+
+    def send(self, flow_mod: FlowMod, at_time: float) -> SendOutcome:
+        self.stats.sends += 1
+        delay = self._verdict_delay(at_time)
+        if delay is None:
+            self.stats.give_ups += 1
+            return SendOutcome(
+                completed=None, attempts=1, done_time=at_time, delivered=False
+            )
+        try:
+            completed = self.agent.submit(flow_mod, at_time=at_time + delay)
+        except AgentDownError:
+            self.stats.give_ups += 1
+            return SendOutcome(
+                completed=None, attempts=1, done_time=at_time, delivered=False
+            )
+        return SendOutcome(
+            completed=completed,
+            attempts=1,
+            done_time=completed.finish_time,
+            delivered=True,
+        )
+
+    def send_batch(
+        self, flow_mods: Sequence[FlowMod], at_time: float
+    ) -> BatchSendOutcome:
+        self.stats.sends += 1
+        delay = self._verdict_delay(at_time)
+        if delay is None:
+            self.stats.give_ups += 1
+            return BatchSendOutcome(
+                completed=[], attempts=1, ack_time=at_time, delivered=False
+            )
+        try:
+            completed = self.agent.submit_batch(flow_mods, at_time=at_time + delay)
+        except AgentDownError:
+            self.stats.give_ups += 1
+            return BatchSendOutcome(
+                completed=[], attempts=1, ack_time=at_time, delivered=False
+            )
+        return BatchSendOutcome(completed=completed, attempts=1, ack_time=None)
+
+
+class SwitchUnreachable(RuntimeError):
+    """Raised by strict callers when the circuit breaker is open."""
+
+
+class ResilientChannel(Channel):
+    """Reliable delivery over a lossy control channel.
+
+    Every send stamps the FlowMod(s) with a fresh xid; the agent's xid
+    cache turns redeliveries into acks instead of re-installs.  Losses are
+    retried after a timeout plus capped exponential backoff (jittered from
+    a dedicated seeded stream).  ``breaker_threshold`` consecutive
+    timeouts open the circuit breaker: sends fast-fail (the switch is
+    reported unreachable, and ``on_breaker_open`` fires — Hermes uses this
+    to enter degraded mode) until ``breaker_cooldown`` elapses, after which
+    the next send probes half-open.
+    """
+
+    def __init__(
+        self,
+        agent: SwitchAgent,
+        injector: FaultInjector,
+        config: Optional[ChannelConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        on_breaker_open: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.agent = agent
+        self.injector = injector
+        self.config = config if config is not None else ChannelConfig()
+        self.rng = rng if rng is not None else injector.child_rng(f"channel:{agent.name}")
+        self.on_breaker_open = on_breaker_open
+        self.stats = ChannelStats()
+        self._xids = itertools.count(1)
+        self._consecutive_timeouts = 0
+        self._open_until: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Breaker
+    # ------------------------------------------------------------------
+    @property
+    def breaker_open(self) -> bool:
+        """True while the breaker is tripped (as of the last send)."""
+        return self._open_until is not None
+
+    def _fast_fail(self, now: float) -> bool:
+        if self._open_until is None:
+            return False
+        if now < self._open_until:
+            self.stats.fast_fails += 1
+            self.injector.log.record(
+                "breaker-fast-fail", time=now, target=self.agent.name
+            )
+            return True
+        return False  # cooldown elapsed: half-open, try the send
+
+    def _trip_breaker(self, now: float) -> None:
+        self.stats.breaker_opens += 1
+        self._open_until = now + self.config.breaker_cooldown
+        self._consecutive_timeouts = 0
+        self.injector.log.record("breaker-open", time=now, target=self.agent.name)
+        if self.on_breaker_open is not None:
+            self.on_breaker_open(now)
+
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential backoff with seeded jitter, for ``attempt``
+        (1-based) having just timed out."""
+        base = min(self.config.backoff_cap, self.config.backoff_base * 2 ** (attempt - 1))
+        if self.config.jitter == 0:
+            return base
+        return base * (1.0 + self.config.jitter * (2.0 * self.rng.random() - 1.0))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, flow_mod: FlowMod, at_time: float) -> SendOutcome:
+        self.stats.sends += 1
+        if self._fast_fail(at_time):
+            return SendOutcome(
+                completed=None, attempts=0, done_time=at_time, delivered=False
+            )
+        xid = next(self._xids)
+        stamped = replace(flow_mod, xid=xid)
+        outcome = self._attempt_loop(
+            at_time, xid, lambda arrival: self.agent.submit(stamped, at_time=arrival)
+        )
+        applied, attempts, done_time, delivered = outcome
+        return SendOutcome(
+            completed=applied,
+            attempts=attempts,
+            done_time=done_time,
+            delivered=delivered,
+        )
+
+    def send_batch(
+        self, flow_mods: Sequence[FlowMod], at_time: float
+    ) -> BatchSendOutcome:
+        self.stats.sends += 1
+        if not flow_mods:
+            return BatchSendOutcome(completed=[], attempts=0, ack_time=at_time)
+        if self._fast_fail(at_time):
+            return BatchSendOutcome(
+                completed=[], attempts=0, ack_time=at_time, delivered=False
+            )
+        xid = next(self._xids)
+        stamped = [replace(flow_mod, xid=xid) for flow_mod in flow_mods]
+        outcome = self._attempt_loop(
+            at_time, xid, lambda arrival: self.agent.submit_batch(stamped, at_time=arrival)
+        )
+        applied, attempts, done_time, delivered = outcome
+        return BatchSendOutcome(
+            completed=applied if applied is not None else [],
+            attempts=attempts,
+            ack_time=done_time,
+            delivered=delivered,
+        )
+
+    def _attempt_loop(self, at_time: float, xid: int, apply: Callable):
+        """Shared retry machinery; returns (applied, attempts, done, ok)."""
+        now = at_time
+        applied = None
+        attempts = 0
+        while attempts <= self.config.max_retries:
+            attempts += 1
+            if attempts > 1:
+                self.stats.retries += 1
+                self.injector.log.record(
+                    "retry", time=now, target=self.agent.name, xid=xid, attempt=attempts
+                )
+            verdict = self.injector.flowmod_verdict(
+                now=now, target=self.agent.name, xid=xid
+            )
+            lost = verdict.kind == "drop"
+            arrival = now + verdict.delay
+            if not lost:
+                try:
+                    applied = apply(arrival)
+                except AgentDownError:
+                    lost = True
+                else:
+                    if verdict.kind == "duplicate":
+                        # The network delivered a second copy; the agent's
+                        # xid cache absorbs it.
+                        apply(arrival)
+                    if verdict.kind != "drop-ack":
+                        # Acked: success.
+                        self._consecutive_timeouts = 0
+                        self._open_until = None
+                        done = max(arrival, self._finish_time(applied))
+                        return applied, attempts, done, True
+                    lost = True  # applied, but the controller never hears
+            # Timeout path.
+            self.stats.timeouts += 1
+            self._consecutive_timeouts += 1
+            if self._consecutive_timeouts >= self.config.breaker_threshold:
+                self._trip_breaker(now + self.config.timeout)
+                break
+            now += self.config.timeout + self._backoff(attempts)
+        self.stats.give_ups += 1
+        self.injector.log.record(
+            "give-up", time=now, target=self.agent.name, xid=xid, attempts=attempts
+        )
+        return applied, attempts, now + self.config.timeout, False
+
+    @staticmethod
+    def _finish_time(applied) -> float:
+        if isinstance(applied, list):
+            return max((action.finish_time for action in applied), default=0.0)
+        return applied.finish_time

@@ -11,6 +11,7 @@ from __future__ import annotations
 import abc
 from typing import Iterable, List, Optional, Sequence
 
+from ..faults.table import FaultyTable, TcamWriteError
 from ..tcam.rule import Rule
 from ..tcam.table import TcamTable
 from ..tcam.timing import EmpiricalTimingModel, InsertOrder
@@ -92,6 +93,7 @@ class DirectInstaller(RuleInstaller):
         capacity: Optional[int] = None,
         rng=None,
         order: InsertOrder = InsertOrder.RANDOM,
+        injector=None,
     ) -> None:
         """Create a monolithic installer.
 
@@ -100,14 +102,29 @@ class DirectInstaller(RuleInstaller):
             capacity: flow-table size; defaults to the model's capacity.
             rng: optional generator enabling latency noise.
             order: priority ordering assumed for latency scaling.
+            injector: optional :class:`~repro.faults.injector.FaultInjector`;
+                when given, writes route through a
+                :class:`~repro.faults.table.FaultyTable` and may fail or
+                silently no-op.
         """
         self.table = TcamTable(timing, capacity=capacity, name="monolithic", rng=rng)
+        self.injector = injector
+        if injector is not None:
+            self.table = FaultyTable(self.table, injector)
         self.order = order
 
     def apply(self, flow_mod: FlowMod) -> FlowModResult:
-        """Apply one FlowMod directly to the monolithic table."""
+        """Apply one FlowMod directly to the monolithic table.
+
+        A visibly failed write (fault injection) still charges its latency
+        but installs nothing — the naive scheme has no recovery story, which
+        is exactly the gap the chaos experiment measures.
+        """
         if flow_mod.command is FlowModCommand.ADD:
-            result = self.table.insert(flow_mod.rule, order=self.order)
+            try:
+                result = self.table.insert(flow_mod.rule, order=self.order)
+            except TcamWriteError as error:
+                return FlowModResult(latency=error.latency)
             return FlowModResult(
                 latency=result.latency,
                 installed_rule_ids=(flow_mod.rule.rule_id,),

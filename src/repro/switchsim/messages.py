@@ -40,6 +40,10 @@ class FlowMod:
     new_action: Optional[Action] = None
     new_match: Optional[TernaryMatch] = None
     new_priority: Optional[int] = None
+    # OpenFlow transaction id, stamped by the control channel.  Agents use
+    # it to deduplicate redeliveries (a retransmitted FlowMod whose first
+    # copy was applied but whose ack was lost must not install twice).
+    xid: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.command is FlowModCommand.ADD:

@@ -53,6 +53,19 @@ class TestTokenBucket:
         with pytest.raises(ValueError):
             TokenBucket(rate=5, burst=0)
 
+    def test_amount_must_be_positive(self):
+        bucket = TokenBucket(rate=10, burst=5)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0.0, amount=0)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0.0, amount=-1)
+
+    def test_time_cannot_go_backwards(self):
+        bucket = TokenBucket(rate=10, burst=5)
+        bucket.try_consume(1.0)
+        with pytest.raises(ValueError):
+            bucket.try_consume(0.5)
+
     def test_sustained_rate_enforced(self):
         bucket = TokenBucket(rate=100, burst=10)
         admitted = 0
@@ -122,6 +135,63 @@ class TestGateKeeper:
         assert outcomes == [True, True, False, False]
         assert gate.admitted == 2
         assert gate.diverted == 2
+
+    def test_degraded_diverts_everything(self):
+        gate = GateKeeper()
+        decision = gate.decide(
+            rule("10.0.0.0/8", 50),
+            0.0,
+            shadow_has_room=True,
+            main_lowest_priority=10,
+            degraded=True,
+        )
+        assert not decision.use_shadow and decision.reason == "degraded"
+
+    @pytest.mark.parametrize(
+        "reason,make_gate,kwargs,use_shadow",
+        [
+            ("guaranteed", lambda: GateKeeper(), {}, True),
+            (
+                "predicate-miss",
+                lambda: GateKeeper(predicate=priority_at_least(100)),
+                {},
+                False,
+            ),
+            ("degraded", lambda: GateKeeper(), {"degraded": True}, False),
+            (
+                "lowest-priority-fastpath",
+                lambda: GateKeeper(),
+                {"priority": 5},
+                False,
+            ),
+            ("shadow-full", lambda: GateKeeper(), {"shadow_has_room": False}, False),
+            (
+                "rate-limited",
+                lambda: GateKeeper(bucket=TokenBucket(rate=1, burst=1)),
+                {"warmup": 1},
+                False,
+            ),
+        ],
+    )
+    def test_every_documented_reason_is_reachable(
+        self, reason, make_gate, kwargs, use_shadow
+    ):
+        # Each documented GateDecision.reason must be producible, and the
+        # gate must tally it under exactly that name.
+        gate = make_gate()
+        priority = kwargs.pop("priority", 50)
+        warmup = kwargs.pop("warmup", 0)
+        call = dict(
+            shadow_has_room=kwargs.pop("shadow_has_room", True),
+            main_lowest_priority=10,
+            **kwargs,
+        )
+        for _ in range(warmup):  # exhaust the bucket for the rate-limited case
+            gate.decide(rule("10.0.0.0/8", priority), 0.0, **call)
+        decision = gate.decide(rule("10.0.0.0/8", priority), 0.0, **call)
+        assert decision.reason == reason
+        assert decision.use_shadow is use_shadow
+        assert gate.reason_counts[reason] >= 1
 
     def test_match_all(self):
         assert match_all(rule("10.0.0.0/8", 1))

@@ -48,6 +48,7 @@ class TestRegistry:
             "ablation",
             "autotune",
             "failover",
+            "chaos",
         }
         assert expected == set(EXPERIMENTS)
 

@@ -1,0 +1,80 @@
+"""Tests for agent-side faults (stalls, crashes) and stats accounting."""
+
+import pytest
+
+from repro.faults import AgentCrash, AgentStall, FaultInjector, FaultPlan
+from repro.switchsim import (
+    AgentDownError,
+    AgentStats,
+    DirectInstaller,
+    FlowMod,
+    SwitchAgent,
+)
+from repro.tcam import Action, Rule, pica8_p3290
+
+
+def rule(prefix, priority):
+    return Rule.from_prefix(prefix, priority, Action.output(1))
+
+
+def make_agent(plan=None, seed=0, name="sw"):
+    injector = FaultInjector(plan, seed=seed) if plan is not None else None
+    return SwitchAgent(DirectInstaller(pica8_p3290()), name=name, injector=injector)
+
+
+class TestStats:
+    def test_background_time_accumulates(self):
+        agent = make_agent()
+        agent.submit(FlowMod.add(rule("10.0.0.0/24", 5)), at_time=0.0)
+        assert agent.stats.background_time == 0.0  # DirectInstaller: none
+        # And the recording path itself folds it in:
+        stats = AgentStats()
+        completed = agent.history()[0]
+        stats.record(completed, background_time=0.25)
+        stats.record(completed, background_time=0.5)
+        assert stats.background_time == pytest.approx(0.75)
+        assert stats.actions == 2
+
+    def test_batch_charges_background_once(self):
+        agent = make_agent()
+        mods = [FlowMod.add(rule(f"10.0.{i}.0/24", 5)) for i in range(3)]
+        agent.submit_batch(mods, at_time=0.0)
+        assert agent.stats.actions == 3
+        assert agent.stats.background_time == 0.0
+
+
+class TestStalls:
+    def test_stall_window_delays_start(self):
+        plan = FaultPlan(stall=AgentStall(windows=((1.0, 1.5),)))
+        agent = make_agent(plan)
+        completed = agent.submit(FlowMod.add(rule("10.0.0.0/24", 5)), at_time=1.2)
+        assert completed.start_time >= 1.5  # held until the window closes
+        assert agent.stats.stalls == 1
+        assert agent.stats.stall_time == pytest.approx(0.3)
+
+    def test_no_stall_outside_window(self):
+        plan = FaultPlan(stall=AgentStall(windows=((1.0, 1.5),)))
+        agent = make_agent(plan)
+        completed = agent.submit(FlowMod.add(rule("10.0.0.0/24", 5)), at_time=2.0)
+        assert completed.start_time == pytest.approx(2.0)
+        assert agent.stats.stalls == 0
+
+
+class TestCrashes:
+    def test_submissions_lost_while_down(self):
+        plan = FaultPlan(crash=AgentCrash(times=(1.0,), restart_delay=0.5))
+        agent = make_agent(plan)
+        with pytest.raises(AgentDownError):
+            agent.submit(FlowMod.add(rule("10.0.0.0/24", 5)), at_time=1.2)
+        assert agent.stats.crash_losses == 1
+        assert len(agent.installer.table) == 0
+
+    def test_table_survives_restart(self):
+        plan = FaultPlan(crash=AgentCrash(times=(1.0,), restart_delay=0.5))
+        agent = make_agent(plan)
+        agent.submit(FlowMod.add(rule("10.0.0.0/24", 5)), at_time=0.0)
+        with pytest.raises(AgentDownError):
+            agent.submit(FlowMod.add(rule("10.0.1.0/24", 5)), at_time=1.1)
+        completed = agent.submit(FlowMod.add(rule("10.0.2.0/24", 5)), at_time=2.0)
+        assert completed is not None
+        assert len(agent.installer.table) == 2  # pre-crash rule still there
