@@ -1,6 +1,23 @@
-"""Analysis helpers: CDFs, percentile summaries, result rendering."""
+"""Analysis: result statistics, plus static analysis for TCAM correctness.
 
+Two halves live here.  The *measurement* half (stats, replication, result
+tables) post-processes experiment output.  The *static-analysis* half
+([docs/analysis.md](../../../docs/analysis.md)) checks the system itself:
+the ruleset verifier proves or refutes the shadow+main ≡ monolithic
+invariant over table snapshots, and the determinism lint keeps
+nondeterminism hazards out of the simulation paths.
+"""
+
+from .lint import LintFinding, format_findings, lint_file, lint_paths, lint_source
 from .replication import SeedSweep, replicate, replicate_many
+from .snapshot import (
+    TableSnapshot,
+    dump_snapshot,
+    load_snapshot,
+    read_snapshot,
+    snapshot_installer,
+    snapshot_tables,
+)
 from .stats import (
     cdf_at,
     empirical_cdf,
@@ -9,17 +26,50 @@ from .stats import (
     percentile_summary,
 )
 from .tables import ExperimentResult, format_cell, render_table
+from .verifier import (
+    find_duplicate_entries,
+    find_priority_inversions,
+    find_shadowed_rules,
+    find_unreachable_rules,
+    lookup_order,
+    semantic_diff,
+    verify_installer,
+    verify_moveplan,
+    verify_partition,
+)
+from .violations import Violation
 
 __all__ = [
     "ExperimentResult",
+    "LintFinding",
     "SeedSweep",
+    "TableSnapshot",
+    "Violation",
     "cdf_at",
+    "dump_snapshot",
     "empirical_cdf",
+    "find_duplicate_entries",
+    "find_priority_inversions",
+    "find_shadowed_rules",
+    "find_unreachable_rules",
     "format_cell",
+    "format_findings",
     "increase_ratios",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_snapshot",
+    "lookup_order",
     "median_improvement",
     "percentile_summary",
+    "read_snapshot",
     "render_table",
     "replicate",
     "replicate_many",
+    "semantic_diff",
+    "snapshot_installer",
+    "snapshot_tables",
+    "verify_installer",
+    "verify_moveplan",
+    "verify_partition",
 ]

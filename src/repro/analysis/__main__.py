@@ -1,0 +1,225 @@
+"""Command-line front end of the static-analysis layer.
+
+Three subcommands::
+
+    python -m repro.analysis verify SNAPSHOT.json   # check a table snapshot
+    python -m repro.analysis lint [PATH ...]        # determinism lint
+    python -m repro.analysis scenario [--out F]     # canned churn + verify
+
+``scenario`` drives a deterministic insert/delete churn through a real
+:class:`HermesInstaller` (with live migrations) and a monolithic reference
+table, snapshots both, and verifies the snapshot — the zero-setup way to
+see the verifier pass, and, with ``--corrupt``, to see each checker catch a
+seeded corruption.  Exit status: 0 clean, 1 violations/findings, 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .lint import format_findings, lint_paths
+from .snapshot import (
+    dump_snapshot,
+    load_snapshot,
+    read_snapshot,
+    snapshot_tables,
+)
+from .verifier import verify_partition
+
+CORRUPTIONS = ("swap-priority", "drop-rule", "duplicate")
+
+
+def build_scenario(seed: int = 7, steps: int = 80):
+    """Run the canned churn scenario; returns (hermes, direct) installers."""
+    from ..core.hermes import HermesConfig, HermesInstaller
+    from ..switchsim.installer import DirectInstaller
+    from ..switchsim.messages import FlowMod
+    from ..tcam.prefix import Prefix
+    from ..tcam.rule import Action, Rule
+    from ..tcam.switch_models import dell_8132f, pica8_p3290
+
+    rng = np.random.default_rng(seed)
+    hermes = HermesInstaller(
+        dell_8132f(),
+        config=HermesConfig(
+            shadow_capacity=24, admission_control=False, epoch=0.01
+        ),
+    )
+    direct = DirectInstaller(pica8_p3290())
+    installed: List[Rule] = []
+    priorities = list(rng.permutation(10 * steps))
+    now = 0.0
+    for step in range(steps):
+        now += 0.005
+        hermes.advance_time(now)
+        if installed and rng.random() < 0.25:
+            victim = installed.pop(int(rng.integers(0, len(installed))))
+            hermes.apply(FlowMod.delete(victim.rule_id))
+            direct.apply(FlowMod.delete(victim.rule_id))
+            continue
+        length = int(rng.integers(8, 25))
+        mask = ((1 << length) - 1) << (32 - length)
+        network = ((10 << 24) | int(rng.integers(0, 1 << 24))) & mask
+        rule = Rule.from_prefix(
+            Prefix(network, length),
+            int(priorities[step]) + 1,
+            Action.output(int(rng.integers(1, 9))),
+        )
+        hermes.apply(FlowMod.add(rule))
+        direct.apply(FlowMod.add(rule))
+        installed.append(rule)
+    # End with a burst the Rule Manager has not migrated yet, so the
+    # snapshot captures the interesting state: live rules in *both*
+    # slices, with Algorithm 1 partitioning in effect.
+    for burst in range(6):
+        length = int(rng.integers(10, 22))
+        mask = ((1 << length) - 1) << (32 - length)
+        network = ((10 << 24) | int(rng.integers(0, 1 << 24))) & mask
+        rule = Rule.from_prefix(
+            Prefix(network, length),
+            int(priorities[steps + burst]) + 1,
+            Action.output(int(rng.integers(1, 9))),
+        )
+        hermes.apply(FlowMod.add(rule))
+        direct.apply(FlowMod.add(rule))
+    return hermes, direct
+
+
+def corrupt_snapshot(payload: dict, kind: str) -> dict:
+    """Seed one deliberate corruption into a snapshot payload."""
+    tables = payload["tables"]
+    shadow = tables.setdefault("shadow", [])
+    main = tables.setdefault("main", [])
+    if kind == "swap-priority":
+        # Plant a high-priority twin of a shadow rule in the main table
+        # (or, with an empty shadow, a low-priority twin of a main rule in
+        # the shadow): the cross-table inversion Algorithm 1 prevents.
+        if shadow:
+            twin = dict(shadow[0])
+            twin["priority"] = shadow[0]["priority"] + 1000
+            twin["rule_id"] = 10_000_000
+            main.insert(0, twin)
+        else:
+            twin = dict(main[0])
+            twin["priority"] = max(0, main[0]["priority"] - 1000)
+            twin["rule_id"] = 10_000_000
+            shadow.append(twin)
+    elif kind == "drop-rule":
+        # Lose one installed rule (the reference keeps it): a silent
+        # write failure's end state.
+        (shadow if shadow else main).pop(0)
+    elif kind == "duplicate":
+        # The same physical entry resident in both tables: a replayed
+        # FlowMod without dedup.
+        source = main[0] if main else shadow[0]
+        shadow.append(dict(source))
+    else:
+        raise ValueError(f"unknown corruption {kind!r}; known: {CORRUPTIONS}")
+    return payload
+
+
+def _report(violations, stream=sys.stdout) -> int:
+    errors = [violation for violation in violations if violation.is_error]
+    for violation in violations:
+        print(violation, file=stream)
+    print(
+        f"{len(errors)} error(s), {len(violations) - len(errors)} warning(s)",
+        file=stream,
+    )
+    return 1 if errors else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for TCAM correctness and determinism.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    verify_cmd = commands.add_parser(
+        "verify", help="verify a serialized table snapshot"
+    )
+    verify_cmd.add_argument("snapshot", help="path to a snapshot JSON file")
+    verify_cmd.add_argument(
+        "--include-warnings",
+        action="store_true",
+        help="also run the unreachable/shadowed-rule analyses",
+    )
+
+    lint_cmd = commands.add_parser(
+        "lint", help="run the determinism lint over source trees"
+    )
+    lint_cmd.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+
+    scenario_cmd = commands.add_parser(
+        "scenario",
+        help="run a canned Hermes churn scenario, snapshot it, verify it",
+    )
+    scenario_cmd.add_argument("--seed", type=int, default=7)
+    scenario_cmd.add_argument("--steps", type=int, default=80)
+    scenario_cmd.add_argument(
+        "--out", default=None, help="also write the snapshot JSON here"
+    )
+    scenario_cmd.add_argument(
+        "--corrupt",
+        choices=CORRUPTIONS,
+        default=None,
+        help="seed a deliberate corruption before verifying (must fail)",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        findings = lint_paths(args.paths)
+        if findings:
+            print(format_findings(findings))
+        print(f"{len(findings)} finding(s) in {', '.join(args.paths)}")
+        return 1 if findings else 0
+
+    if args.command == "verify":
+        try:
+            snapshot = read_snapshot(args.snapshot)
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            print(f"cannot load {args.snapshot}: {error}", file=sys.stderr)
+            return 2
+        violations = verify_partition(
+            snapshot.shadow,
+            snapshot.main,
+            reference=snapshot.reference,
+            include_warnings=args.include_warnings,
+        )
+        return _report(violations)
+
+    # scenario
+    hermes, direct = build_scenario(seed=args.seed, steps=args.steps)
+    payload = snapshot_tables(hermes.tables(), reference=direct.table)
+    if args.corrupt is not None:
+        payload = corrupt_snapshot(payload, args.corrupt)
+    if args.out is not None:
+        dump_snapshot(payload, args.out)
+        print(f"snapshot written to {args.out}")
+    snapshot = load_snapshot(payload)
+    print(
+        f"scenario: shadow={len(snapshot.shadow)} main={len(snapshot.main)} "
+        f"reference={len(snapshot.reference or [])} rules"
+        + (f" (corrupted: {args.corrupt})" if args.corrupt else "")
+    )
+    violations = verify_partition(
+        snapshot.shadow, snapshot.main, reference=snapshot.reference
+    )
+    return _report(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

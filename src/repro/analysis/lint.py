@@ -1,0 +1,442 @@
+"""Determinism lint: an AST checker for nondeterminism hazards.
+
+The simulator's reproducibility contract (and the byte-identical digest
+guarantee the chaos tests enforce) dies by a thousand cuts: one unseeded
+``random`` call, one wall-clock read in a simulated path, one iteration
+over a hash-ordered ``set`` that reaches event scheduling, one exact float
+comparison between computed timestamps.  None of these crash; they just
+make two runs of the "same" experiment disagree.  This lint finds them
+statically.
+
+Rules
+-----
+``unseeded-random``
+    Calls into the stdlib ``random`` module (global, unseeded RNG) or
+    numpy's legacy global RNG (``np.random.rand`` etc.).  Simulation code
+    must thread an explicit ``np.random.Generator``.
+``wall-clock``
+    ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()`` /
+    ``datetime.now()`` and friends: real time leaking into simulated time.
+``unordered-iteration``
+    Iterating a ``set`` expression (literal, ``set(...)``/``frozenset``
+    call, set comprehension, or a set-algebra expression) in an
+    order-sensitive position — a ``for`` loop, a non-set comprehension, or
+    ``list``/``tuple``/``enumerate``/``iter``/``sum`` — where hash order
+    can reach event scheduling.  Order-insensitive sinks (``sorted``,
+    ``min``, ``max``, ``len``, ``any``, ``all``, set-to-set operations)
+    are allowed.
+``float-eq``
+    ``==`` / ``!=`` between values that look like event timestamps
+    (``now``, ``deadline``, ``*_time``, ``*_until``, ...).  Computed floats
+    must be compared with tolerances or orderings.
+``bare-pragma``
+    A suppression pragma with no justification (see below).
+
+Pragmas
+-------
+A finding is suppressed by a pragma on the same line, or on a standalone
+comment line directly above, naming the rule *and justifying itself*::
+
+    elapsed = time.perf_counter() - start  # det: allow(wall-clock) -- measures real CPU cost
+
+    # det: allow(unordered-iteration) -- feeds a set union, order-free
+    merged = list(ids_a & ids_b)
+
+``det: allow(rule-a, rule-b)`` suppresses several rules at once.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set
+
+UNSEEDED_RANDOM = "unseeded-random"
+WALL_CLOCK = "wall-clock"
+UNORDERED_ITERATION = "unordered-iteration"
+FLOAT_EQ = "float-eq"
+BARE_PRAGMA = "bare-pragma"
+
+ALL_RULES = (
+    UNSEEDED_RANDOM,
+    WALL_CLOCK,
+    UNORDERED_ITERATION,
+    FLOAT_EQ,
+    BARE_PRAGMA,
+)
+
+_PRAGMA_RE = re.compile(
+    r"#\s*det:\s*allow\(([^)]*)\)\s*(?:--|—)?\s*(\S?.*)$"
+)
+
+_WALL_CLOCK_TIME_FUNCS = {
+    "time",
+    "monotonic",
+    "perf_counter",
+    "process_time",
+    "clock",
+    "time_ns",
+    "monotonic_ns",
+    "perf_counter_ns",
+}
+_WALL_CLOCK_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+_NUMPY_LEGACY_RANDOM = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "seed",
+    "normal",
+    "uniform",
+    "poisson",
+    "exponential",
+    "binomial",
+}
+
+# Builtins that consume an iterable without depending on its order.
+_ORDER_INSENSITIVE_SINKS = {
+    "sorted",
+    "min",
+    "max",
+    "len",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+}
+# Builtins whose output order follows input order (hash order escapes here).
+_ORDER_SENSITIVE_SINKS = {"list", "tuple", "enumerate", "iter", "sum", "zip"}
+
+_TIMEY_EXACT = {"now", "time", "deadline", "timestamp"}
+_TIMEY_SUFFIXES = ("_time", "_until", "_deadline", "_timestamp", "_at")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism hazard.
+
+    Attributes:
+        rule: the lint rule that fired (one of :data:`ALL_RULES`).
+        path: file the finding is in.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: what was found and why it is a hazard.
+        text: the source line, stripped.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    text: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+def _identifier_of(node: ast.AST) -> str:
+    """The trailing identifier of a name/attribute chain, or ''."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _root_name(node: ast.AST) -> str:
+    """The leftmost name of an attribute chain (``np`` for ``np.random.x``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+def _looks_timey(node: ast.AST) -> bool:
+    identifier = _identifier_of(node)
+    if not identifier:
+        return False
+    bare = identifier.lstrip("_")
+    return bare in _TIMEY_EXACT or any(
+        bare.endswith(suffix) for suffix in _TIMEY_SUFFIXES
+    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """True for expressions that statically evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: str, lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.findings: List[LintFinding] = []
+        self._random_imports: Set[str] = set()
+        self._exempt_nodes: Set[int] = set()
+
+    # -- helpers ------------------------------------------------------
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        line = getattr(node, "lineno", 0)
+        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                text=text,
+            )
+        )
+
+    # -- imports ------------------------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                self._random_imports.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _ORDER_INSENSITIVE_SINKS:
+            for arg in node.args:
+                self._exempt_nodes.add(id(arg))
+        self._check_random_call(node)
+        self._check_wall_clock_call(node)
+        self._check_set_sink(node)
+        self.generic_visit(node)
+
+    def _check_random_call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and not (func.attr == "Random" and node.args)
+            ):
+                self._flag(
+                    node,
+                    UNSEEDED_RANDOM,
+                    f"call to the global 'random.{func.attr}' RNG; thread a "
+                    "seeded np.random.Generator instead",
+                )
+            elif (
+                func.attr in _NUMPY_LEGACY_RANDOM
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "random"
+                and _root_name(func.value) in {"np", "numpy"}
+            ):
+                self._flag(
+                    node,
+                    UNSEEDED_RANDOM,
+                    f"call to numpy's legacy global RNG "
+                    f"'np.random.{func.attr}'; use np.random.default_rng(seed)",
+                )
+        elif isinstance(func, ast.Name) and func.id in self._random_imports:
+            self._flag(
+                node,
+                UNSEEDED_RANDOM,
+                f"call to '{func.id}' imported from the global random "
+                "module; thread a seeded np.random.Generator instead",
+            )
+
+    def _check_wall_clock_call(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        root = _root_name(func)
+        if root == "time" and func.attr in _WALL_CLOCK_TIME_FUNCS:
+            self._flag(
+                node,
+                WALL_CLOCK,
+                f"wall-clock read 'time.{func.attr}()' — real time must not "
+                "reach simulated time",
+            )
+        elif (
+            func.attr in _WALL_CLOCK_DATETIME_FUNCS
+            and _identifier_of(func.value) in {"datetime", "date"}
+        ):
+            self._flag(
+                node,
+                WALL_CLOCK,
+                f"wall-clock read '{_identifier_of(func.value)}.{func.attr}()' "
+                "— real time must not reach simulated time",
+            )
+
+    def _check_set_sink(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_SINKS
+            and node.args
+            and _is_set_expr(node.args[0])
+            and id(node.args[0]) not in self._exempt_nodes
+        ):
+            self._flag(
+                node,
+                UNORDERED_ITERATION,
+                f"'{func.id}()' over a set materializes hash order; sort "
+                "first (sorted(...)) or use an ordered container",
+            )
+
+    # -- iteration ----------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter) and id(node.iter) not in self._exempt_nodes:
+            self._flag(
+                node,
+                UNORDERED_ITERATION,
+                "for-loop over a set iterates in hash order; sort first "
+                "(sorted(...)) or use an ordered container",
+            )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        produces_set = isinstance(node, ast.SetComp)
+        for generator in node.generators:
+            if (
+                not produces_set
+                and _is_set_expr(generator.iter)
+                and id(generator.iter) not in self._exempt_nodes
+                and id(node) not in self._exempt_nodes
+            ):
+                self._flag(
+                    generator.iter,
+                    UNORDERED_ITERATION,
+                    "comprehension over a set inherits hash order; sort "
+                    "first (sorted(...)) or produce a set",
+                )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+
+    # -- comparisons --------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for this, other in ((left, right), (right, left)):
+                if not _looks_timey(this):
+                    continue
+                if isinstance(other, ast.Constant) and (
+                    other.value is None or isinstance(other.value, str)
+                ):
+                    continue
+                self._flag(
+                    node,
+                    FLOAT_EQ,
+                    f"exact equality on timestamp-like value "
+                    f"'{_identifier_of(this)}'; computed floats need a "
+                    "tolerance or an ordering comparison",
+                )
+                break
+        self.generic_visit(node)
+
+
+def _parse_pragmas(
+    lines: Sequence[str], path: str
+) -> tuple[Dict[int, Set[str]], List[LintFinding]]:
+    """Extract per-line suppressions and flag unjustified pragmas."""
+    allowed: Dict[int, Set[str]] = {}
+    findings: List[LintFinding] = []
+    for number, line in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        rules = {rule.strip() for rule in match.group(1).split(",") if rule.strip()}
+        justification = match.group(2).strip()
+        if not justification:
+            findings.append(
+                LintFinding(
+                    rule=BARE_PRAGMA,
+                    path=path,
+                    line=number,
+                    col=line.index("#"),
+                    message=(
+                        "suppression pragma without a justification; write "
+                        "'# det: allow(rule) -- why this is safe'"
+                    ),
+                    text=line.strip(),
+                )
+            )
+        allowed.setdefault(number, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # A standalone pragma comment covers the line below it.
+            allowed.setdefault(number + 1, set()).update(rules)
+    return allowed, findings
+
+
+def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
+    """Lint one Python source string; returns findings in line order."""
+    lines = source.splitlines()
+    allowed, findings = _parse_pragmas(lines, path)
+    tree = ast.parse(source, filename=path)
+    visitor = _DeterminismVisitor(path, lines)
+    visitor.visit(tree)
+    findings.extend(
+        finding
+        for finding in visitor.findings
+        if finding.rule not in allowed.get(finding.line, set())
+    )
+    return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
+
+
+def lint_file(path: str) -> List[LintFinding]:
+    """Lint one file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), path)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                collected.extend(
+                    os.path.join(root, name)
+                    for name in files
+                    if name.endswith(".py")
+                )
+        else:
+            collected.append(path)
+    return sorted(collected)
+
+
+def lint_paths(paths: Iterable[str]) -> List[LintFinding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    findings: List[LintFinding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return findings
+
+
+def format_findings(findings: Sequence[LintFinding]) -> str:
+    """Render findings one per line, with the offending source quoted."""
+    parts = []
+    for finding in findings:
+        parts.append(str(finding))
+        if finding.text:
+            parts.append(f"    {finding.text}")
+    return "\n".join(parts)

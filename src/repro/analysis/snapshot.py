@@ -1,0 +1,136 @@
+"""Table snapshots: JSON-serializable captures for offline verification.
+
+A snapshot freezes the physical contents of a shadow+main pair (plus an
+optional reference monolithic table) at one instant, in physical order, so
+the :mod:`repro.analysis.verifier` checks can run out-of-process — in CI,
+against a file attached to a bug report, or long after the simulation that
+produced it ended.  The format is deliberately dumb: a versioned dict of
+rule lists, with matches rendered through the same strings
+:meth:`TernaryMatch.from_string` parses, so snapshots stay greppable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..tcam.rule import Action, Rule
+from ..tcam.ternary import TernaryMatch
+
+FORMAT = "hermes-table-snapshot/1"
+
+
+def rule_to_dict(rule: Rule) -> dict:
+    """Serialize one rule (match as its canonical string form)."""
+    return {
+        "match": str(rule.match),
+        "width": rule.match.width,
+        "priority": rule.priority,
+        "action": str(rule.action),
+        "rule_id": rule.rule_id,
+        "origin_id": rule.origin_id,
+    }
+
+
+def rule_from_dict(data: dict) -> Rule:
+    """Rebuild a rule from :func:`rule_to_dict` output."""
+    match = TernaryMatch.from_string(data["match"])
+    if match.width != data.get("width", match.width):
+        raise ValueError(
+            f"match {data['match']!r} parsed to width {match.width}, "
+            f"snapshot says {data['width']}"
+        )
+    action_text = data["action"]
+    if action_text.startswith("output:"):
+        action = Action.output(int(action_text.split(":", 1)[1]))
+    elif action_text == "drop":
+        action = Action.drop()
+    elif action_text == "controller":
+        action = Action.to_controller()
+    else:
+        raise ValueError(f"unknown action {action_text!r}")
+    return Rule(
+        match=match,
+        priority=data["priority"],
+        action=action,
+        rule_id=data["rule_id"],
+        origin_id=data.get("origin_id"),
+    )
+
+
+@dataclass
+class TableSnapshot:
+    """A deserialized snapshot: rule lists in physical (lookup) order."""
+
+    tables: Dict[str, List[Rule]] = field(default_factory=dict)
+    reference: Optional[List[Rule]] = None
+
+    @property
+    def shadow(self) -> List[Rule]:
+        """The shadow slice (empty for monolithic snapshots)."""
+        return self.tables.get("shadow", [])
+
+    @property
+    def main(self) -> List[Rule]:
+        """The main slice, falling back to a monolithic table."""
+        return self.tables.get("main", self.tables.get("monolithic", []))
+
+
+def snapshot_tables(
+    tables: Dict[str, Sequence[Rule]],
+    reference: Optional[Sequence[Rule]] = None,
+) -> dict:
+    """Serialize named tables (and an optional reference) to a JSON dict."""
+
+    def rules_of(source) -> List[dict]:
+        getter = getattr(source, "rules", None)
+        rules = getter() if callable(getter) else source
+        return [rule_to_dict(rule) for rule in rules]
+
+    payload: dict = {
+        "format": FORMAT,
+        "tables": {name: rules_of(source) for name, source in tables.items()},
+    }
+    if reference is not None:
+        payload["reference"] = rules_of(reference)
+    return payload
+
+
+def snapshot_installer(installer, reference=None) -> dict:
+    """Snapshot a :class:`RuleInstaller` via its ``tables()`` seam."""
+    return snapshot_tables(installer.tables(), reference=reference)
+
+
+def load_snapshot(data: dict) -> TableSnapshot:
+    """Parse a snapshot dict back into rule lists.
+
+    Raises:
+        ValueError: on a missing/unknown format tag or malformed rules.
+    """
+    if data.get("format") != FORMAT:
+        raise ValueError(
+            f"not a table snapshot (format={data.get('format')!r}, "
+            f"expected {FORMAT!r})"
+        )
+    tables = {
+        name: [rule_from_dict(entry) for entry in rules]
+        for name, rules in data.get("tables", {}).items()
+    }
+    reference = data.get("reference")
+    if reference is not None:
+        reference = [rule_from_dict(entry) for entry in reference]
+    return TableSnapshot(tables=tables, reference=reference)
+
+
+def dump_snapshot(payload: dict, path: str) -> None:
+    """Write a snapshot dict to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_snapshot(path: str) -> TableSnapshot:
+    """Load and parse a snapshot file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_snapshot(json.load(handle))

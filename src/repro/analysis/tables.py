@@ -8,7 +8,7 @@ benchmark run regenerates the artifact as text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 def format_cell(value) -> str:
@@ -49,6 +49,9 @@ class ExperimentResult:
         headers: column names.
         rows: data rows (the figure's series, flattened to rows).
         notes: shape expectations and scale caveats, printed below the table.
+        extras: structured side-channel data that does not fit the table —
+            e.g. the chaos experiment records the ruleset verifier's
+            :class:`~repro.analysis.violations.Violation` records here.
     """
 
     experiment_id: str
@@ -56,6 +59,7 @@ class ExperimentResult:
     headers: List[str]
     rows: List[Tuple] = field(default_factory=list)
     notes: str = ""
+    extras: Dict = field(default_factory=dict)
 
     def render(self) -> str:
         """Render the artifact as text."""

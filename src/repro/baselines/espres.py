@@ -46,6 +46,10 @@ class EspresInstaller(RuleInstaller):
         """The underlying monolithic TCAM table."""
         return self._direct.table
 
+    def tables(self):
+        """The single physical table (scheduling never splits it)."""
+        return self._direct.tables()
+
     def apply(self, flow_mod: FlowMod) -> FlowModResult:
         """Apply a single FlowMod (no scheduling opportunity)."""
         return self._direct.apply(flow_mod)

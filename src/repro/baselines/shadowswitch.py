@@ -106,6 +106,21 @@ class ShadowSwitchInstaller(RuleInstaller):
             return None
         return max(candidates, key=lambda rule: rule.priority)
 
+    def tables(self) -> dict:
+        """Hardware table plus the software staging level.
+
+        ShadowSwitch resolves software/hardware conflicts by priority (not
+        by table precedence), so there is no cross-table inversion hazard;
+        the hardware table is exposed as ``"monolithic"`` and the software
+        level informationally as ``"software"``.
+        """
+        return {
+            "monolithic": self.tcam.rules(),
+            "software": [
+                self._software[rule_id] for rule_id in sorted(self._software)
+            ],
+        }
+
     def occupancy(self) -> int:
         """Rules across both levels."""
         return len(self._software) + self.tcam.occupancy

@@ -48,6 +48,10 @@ class TangoInstaller(RuleInstaller):
         """The underlying monolithic TCAM table."""
         return self._direct.table
 
+    def tables(self):
+        """The single physical table (aggregates included as installed)."""
+        return self._direct.tables()
+
     # ------------------------------------------------------------------
     # RuleInstaller interface
     # ------------------------------------------------------------------

@@ -402,6 +402,32 @@ class HermesInstaller(RuleInstaller):
         """Rules physically installed across both slices."""
         return self.tcam.total_occupancy
 
+    def tables(self):
+        """Both physical slices, for the ruleset verifier.
+
+        Exposes the same tables the data plane probes, in probe order —
+        independent of the partition map, so a verifier consuming this
+        seam checks what the hardware would actually do.
+        """
+        return {"shadow": self.shadow.rules(), "main": self.main.rules()}
+
+    def verify(self, reference=None, include_warnings: bool = False):
+        """Run the ruleset verifier against the live pair.
+
+        Convenience wrapper over
+        :func:`repro.analysis.verifier.verify_partition`; returns the
+        violations found (empty list = the pair provably behaves like one
+        priority-ordered table).
+        """
+        from ..analysis.verifier import verify_partition
+
+        return verify_partition(
+            self.shadow,
+            self.main,
+            reference=reference,
+            include_warnings=include_warnings,
+        )
+
     def prefill(self, rules) -> None:
         """Background rules belong in the main table from the start.
 

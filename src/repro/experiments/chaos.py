@@ -25,7 +25,8 @@ from typing import List, Tuple
 
 import numpy as np
 
-from ..analysis import ExperimentResult
+from ..analysis import ExperimentResult, verify_installer
+from ..analysis.violations import DUPLICATE_ENTRY, PRIORITY_INVERSION
 from ..baselines import make_installer
 from ..faults import FaultInjector, FaultPlan, FlowModFault, TcamWriteFault
 from ..simulator import Simulation, SimulationConfig, TeAppConfig
@@ -59,43 +60,33 @@ class ChaosConfig:
     seed: int = 11
 
 
-def partition_invariant_violations(installer) -> int:
-    """Count (main, shadow) pairs violating Algorithm 1's invariant.
+def verify_simulation(simulation) -> List[dict]:
+    """Run the shared ruleset verifier over every agent's installer.
 
-    The invariant: no main-table rule may overlap a shadow resident at
-    strictly higher priority — if one does, the hardware's shadow-first
-    lookup masks the main rule and the two tables stop behaving like one.
+    All invariant checking goes through
+    :func:`repro.analysis.verifier.verify_installer` (the same analyzer
+    the tests and the snapshot CLI use) rather than ad-hoc assertions;
+    the structured violation records come back as dicts ready for the
+    experiment result's ``extras``.
     """
-    shadow = getattr(installer, "shadow", None)
-    main = getattr(installer, "main", None)
-    if shadow is None or main is None:
-        return 0
-    violations = 0
-    for main_rule in main.rules():
-        for shadow_rule in shadow.rules():
-            if main_rule.priority > shadow_rule.priority and main_rule.overlaps(
-                shadow_rule
-            ):
-                violations += 1
+    violations: List[dict] = []
+    for name in sorted(simulation.controller.agents):
+        agent = simulation.controller.agents[name]
+        for violation in verify_installer(agent.installer):
+            entry = violation.to_dict()
+            entry["switch"] = name
+            violations.append(entry)
     return violations
-
-
-def duplicate_entries(installer) -> int:
-    """Rule ids physically present more than once across an installer's
-    tables — what a retry without dedup would create."""
-    shadow = getattr(installer, "shadow", None)
-    main = getattr(installer, "main", None)
-    if shadow is None or main is None:
-        return 0
-    shadow_ids = {rule.rule_id for rule in shadow.rules()}
-    main_ids = {rule.rule_id for rule in main.rules()}
-    return len(shadow_ids & main_ids)
 
 
 def run_cell(
     scheme: str, channel: str, drop_rate: float, config: ChaosConfig
 ):
-    """One (scheme, channel, drop-rate) cell; returns the measured row tail."""
+    """One (scheme, channel, drop-rate) cell.
+
+    Returns the measured row tail, with the verifier's structured
+    violation records appended as the final element.
+    """
     graph = build_fat_tree(
         FatTreeSpec(k=config.fat_tree_k, link_capacity=config.link_capacity)
     )
@@ -134,13 +125,12 @@ def run_cell(
     metrics = simulation.run()
     counts = injector.log.counts()
     drops = counts.get("flowmod-drop", 0) + counts.get("flowmod-ack-loss", 0)
+    violations = verify_simulation(simulation)
     invariant = sum(
-        partition_invariant_violations(agent.installer)
-        for agent in simulation.controller.agents.values()
+        1 for entry in violations if entry["kind"] == PRIORITY_INVERSION
     )
     duplicates = sum(
-        duplicate_entries(agent.installer)
-        for agent in simulation.controller.agents.values()
+        1 for entry in violations if entry["kind"] == DUPLICATE_ENTRY
     )
     return (
         len(metrics.rits()),
@@ -150,17 +140,27 @@ def run_cell(
         duplicates,
         invariant,
         round(simulation.blackhole_time * 1e3, 3),
+        violations,
     )
 
 
 def run(config: ChaosConfig = ChaosConfig()) -> ExperimentResult:
-    """Sweep drop rate x scheme and tabulate loss/recovery behaviour."""
+    """Sweep drop rate x scheme and tabulate loss/recovery behaviour.
+
+    Every cell's end-state tables are checked with the shared ruleset
+    verifier; the structured violation records (normally empty) land in
+    the result's ``extras["violations"]``, keyed by cell.
+    """
     rows: List[tuple] = []
+    violations_by_cell = {}
     for label, scheme, channel in SCHEMES:
         for drop_rate in config.drop_rates:
             cell = run_cell(scheme, channel, drop_rate, config)
-            rows.append((label, drop_rate) + cell)
+            rows.append((label, drop_rate) + cell[:-1])
+            if cell[-1]:
+                violations_by_cell[f"{label} @ {drop_rate}"] = cell[-1]
     return ExperimentResult(
+        extras={"violations": violations_by_cell},
         experiment_id="Extension (chaos)",
         title="Installs lost vs. control-channel drop rate, by scheme",
         headers=[

@@ -227,8 +227,13 @@ class Simulation:
                 self._advance_to(self.config.max_time)
                 break
             self._advance_to(next_time)
+            # next_time is min() over these exact values, so the equality
+            # tests below are identity dispatch (which event fires first),
+            # not equality between independently computed floats.
+            # det: allow(float-eq) -- identity dispatch against min()
             if completion_time == next_time and completing_flow is not None:
                 self._complete_flow(completing_flow)
+            # det: allow(float-eq) -- identity dispatch against min()
             elif arrival_time == next_time:
                 self._admit_next_flow()
             else:

@@ -9,7 +9,7 @@ interchangeably, which is what lets us A/B the systems the paper compares.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..faults.table import FaultyTable, TcamWriteError
 from ..tcam.rule import Rule
@@ -49,6 +49,16 @@ class RuleInstaller(abc.ABC):
         migration) between control-plane actions.
         """
         return 0.0
+
+    def tables(self) -> Dict[str, List[Rule]]:
+        """Physical table contents, by name, in physical (lookup) order.
+
+        The introspection seam of the ruleset verifier
+        (:mod:`repro.analysis.verifier`): two-slice schemes expose
+        ``"shadow"`` and ``"main"``, monolithic schemes ``"monolithic"``.
+        The default (no tables exposed) opts a scheme out of verification.
+        """
+        return {}
 
     def prefill(self, rules: Iterable[Rule]) -> None:
         """Pre-install background rules before measurement starts.
@@ -165,3 +175,7 @@ class DirectInstaller(RuleInstaller):
     def occupancy(self) -> int:
         """Rules installed in the monolithic table."""
         return self.table.occupancy
+
+    def tables(self) -> Dict[str, List[Rule]]:
+        """The single physical table."""
+        return {"monolithic": self.table.rules()}

@@ -1,0 +1,195 @@
+"""Tests for the determinism lint: every rule fires on known-bad code,
+pragmas suppress with justification, and the shipped sources lint clean."""
+
+import os
+import textwrap
+
+from repro.analysis.lint import (
+    BARE_PRAGMA,
+    FLOAT_EQ,
+    UNORDERED_ITERATION,
+    UNSEEDED_RANDOM,
+    WALL_CLOCK,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+FIXTURE = os.path.join(HERE, "fixtures", "nondeterminism_bad.py")
+
+
+def check(code):
+    return lint_source(textwrap.dedent(code))
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+class TestUnseededRandom:
+    def test_global_random_module_flagged(self):
+        assert rules_of(check("import random\nx = random.random()\n")) == [
+            UNSEEDED_RANDOM
+        ]
+
+    def test_from_import_flagged(self):
+        findings = check("from random import choice\nc = choice(options)\n")
+        assert rules_of(findings) == [UNSEEDED_RANDOM]
+
+    def test_numpy_legacy_global_rng_flagged(self):
+        findings = check("import numpy as np\nx = np.random.rand(3)\n")
+        assert rules_of(findings) == [UNSEEDED_RANDOM]
+
+    def test_seeded_generator_is_clean(self):
+        assert check("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+
+    def test_seeded_random_instance_is_clean(self):
+        assert check("import random\nrng = random.Random(42)\n") == []
+
+    def test_unseeded_random_instance_flagged(self):
+        assert rules_of(check("import random\nrng = random.Random()\n")) == [
+            UNSEEDED_RANDOM
+        ]
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rules_of(check("import time\nt = time.time()\n")) == [WALL_CLOCK]
+
+    def test_perf_counter_flagged(self):
+        assert rules_of(check("import time\nt = time.perf_counter()\n")) == [
+            WALL_CLOCK
+        ]
+
+    def test_datetime_now_flagged(self):
+        findings = check(
+            "from datetime import datetime\nt = datetime.now()\n"
+        )
+        assert rules_of(findings) == [WALL_CLOCK]
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert check("import time\ntime.sleep(1)\n") == []
+
+
+class TestUnorderedIteration:
+    def test_for_loop_over_set_flagged(self):
+        findings = check("for item in {1, 2, 3}:\n    print(item)\n")
+        assert rules_of(findings) == [UNORDERED_ITERATION]
+
+    def test_list_over_set_flagged(self):
+        assert rules_of(check("items = list({1, 2, 3})\n")) == [
+            UNORDERED_ITERATION
+        ]
+
+    def test_list_over_set_algebra_flagged(self):
+        assert rules_of(check("items = list(seen | {4})\n")) == [
+            UNORDERED_ITERATION
+        ]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rules_of(check("items = [x for x in {1, 2}]\n")) == [
+            UNORDERED_ITERATION
+        ]
+
+    def test_sorted_over_set_is_clean(self):
+        assert check("items = sorted({3, 1, 2})\n") == []
+
+    def test_for_loop_over_sorted_set_is_clean(self):
+        assert check("for item in sorted({1, 2}):\n    print(item)\n") == []
+
+    def test_set_to_set_comprehension_is_clean(self):
+        assert check("doubled = {x * 2 for x in {1, 2}}\n") == []
+
+    def test_order_insensitive_builtins_are_clean(self):
+        assert check("total = max({1, 2}) + len({3, 4})\n") == []
+
+
+class TestFloatEq:
+    def test_timestamp_equality_flagged(self):
+        findings = check("if now == deadline:\n    pass\n")
+        assert rules_of(findings) == [FLOAT_EQ]
+
+    def test_suffixed_names_flagged(self):
+        findings = check("done = finish_time != start_time\n")
+        assert rules_of(findings) == [FLOAT_EQ]
+
+    def test_none_sentinel_comparison_is_clean(self):
+        assert check("if deadline == None:\n    pass\n") == []
+
+    def test_ordering_comparison_is_clean(self):
+        assert check("if now >= deadline:\n    pass\n") == []
+
+    def test_untimey_names_are_clean(self):
+        assert check("if count == total:\n    pass\n") == []
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self):
+        code = (
+            "import time\n"
+            "t = time.time()  # det: allow(wall-clock) -- measures real cost\n"
+        )
+        assert check(code) == []
+
+    def test_standalone_pragma_covers_next_line(self):
+        code = (
+            "import time\n"
+            "# det: allow(wall-clock) -- measures real cost\n"
+            "t = time.time()\n"
+        )
+        assert check(code) == []
+
+    def test_pragma_does_not_leak_past_next_line(self):
+        code = (
+            "import time\n"
+            "# det: allow(wall-clock) -- only covers the next line\n"
+            "x = 1\n"
+            "t = time.time()\n"
+        )
+        assert rules_of(check(code)) == [WALL_CLOCK]
+
+    def test_pragma_only_suppresses_named_rules(self):
+        code = (
+            "import time\n"
+            "t = time.time()  # det: allow(unseeded-random) -- wrong rule\n"
+        )
+        assert rules_of(check(code)) == [WALL_CLOCK]
+
+    def test_multiple_rules_in_one_pragma(self):
+        code = (
+            "import time\n"
+            "t = list({time.time()})"
+            "  # det: allow(wall-clock, unordered-iteration) -- test double\n"
+        )
+        assert check(code) == []
+
+    def test_bare_pragma_flagged(self):
+        code = "import time\nt = time.time()  # det: allow(wall-clock)\n"
+        assert rules_of(check(code)) == [BARE_PRAGMA]
+
+
+class TestFixtureAndSources:
+    def test_fixture_trips_every_rule(self):
+        findings = lint_file(FIXTURE)
+        assert set(rules_of(findings)) == {
+            UNSEEDED_RANDOM,
+            WALL_CLOCK,
+            UNORDERED_ITERATION,
+            FLOAT_EQ,
+        }
+        # wall-clock fires twice: time.time() and datetime.now().
+        assert rules_of(findings).count(WALL_CLOCK) == 2
+
+    def test_findings_are_line_ordered_and_printable(self):
+        findings = lint_file(FIXTURE)
+        assert findings == sorted(findings, key=lambda f: (f.line, f.col))
+        rendered = format_findings(findings)
+        assert "[wall-clock]" in rendered and "nondeterminism_bad.py" in rendered
+
+    def test_shipped_sources_lint_clean(self):
+        src = os.path.join(REPO_ROOT, "src", "repro")
+        findings = lint_paths([src])
+        assert findings == [], format_findings(findings)

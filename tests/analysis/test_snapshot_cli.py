@@ -1,0 +1,143 @@
+"""Snapshot round-trip tests and end-to-end CLI checks.
+
+The CLI tests run ``python -m repro.analysis`` in a subprocess — the same
+invocation CI's analysis job uses — asserting the documented exit codes:
+0 clean, 1 violations/findings, 2 usage errors.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.snapshot import (
+    dump_snapshot,
+    load_snapshot,
+    read_snapshot,
+    rule_from_dict,
+    rule_to_dict,
+    snapshot_tables,
+)
+from repro.tcam.rule import Action, Rule
+from repro.tcam.ternary import TernaryMatch
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+FIXTURE = os.path.join(HERE, "fixtures", "nondeterminism_bad.py")
+
+
+class TestRoundTrip:
+    def test_rule_round_trips_through_dict(self):
+        rule = Rule.from_prefix(
+            "10.1.0.0/16", 40, Action.output(3), rule_id=7, origin_id=2
+        )
+        rebuilt = rule_from_dict(rule_to_dict(rule))
+        assert rebuilt == rule
+
+    def test_bit_pattern_and_every_action_round_trip(self):
+        rules = [
+            Rule(TernaryMatch.from_string("10*1"), 9, Action.drop(), rule_id=1),
+            Rule(
+                TernaryMatch.from_string("1***"),
+                8,
+                Action.to_controller(),
+                rule_id=2,
+            ),
+            Rule(TernaryMatch.from_string("0*0*"), 7, Action.output(4), rule_id=3),
+        ]
+        for rule in rules:
+            assert rule_from_dict(rule_to_dict(rule)) == rule
+
+    def test_snapshot_round_trips_through_json(self):
+        shadow = [Rule.from_prefix("10.0.0.0/8", 90, Action.output(1), rule_id=1)]
+        main = [Rule.from_prefix("10.1.0.0/16", 50, Action.output(2), rule_id=2)]
+        payload = snapshot_tables(
+            {"shadow": shadow, "main": main}, reference=shadow + main
+        )
+        snapshot = load_snapshot(json.loads(json.dumps(payload)))
+        assert snapshot.shadow == shadow
+        assert snapshot.main == main
+        assert snapshot.reference == shadow + main
+
+    def test_monolithic_snapshot_falls_back(self):
+        rules = [Rule.from_prefix("10.0.0.0/8", 9, Action.output(1), rule_id=1)]
+        snapshot = load_snapshot(snapshot_tables({"monolithic": rules}))
+        assert snapshot.shadow == []
+        assert snapshot.main == rules
+
+    def test_file_round_trip(self, tmp_path):
+        rules = [Rule.from_prefix("10.0.0.0/8", 9, Action.output(1), rule_id=1)]
+        path = tmp_path / "snap.json"
+        dump_snapshot(snapshot_tables({"main": rules}), str(path))
+        assert read_snapshot(str(path)).main == rules
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            load_snapshot({"format": "something-else/9", "tables": {}})
+
+    def test_unknown_action_rejected(self):
+        data = rule_to_dict(
+            Rule.from_prefix("10.0.0.0/8", 9, Action.output(1), rule_id=1)
+        )
+        data["action"] = "teleport"
+        with pytest.raises(ValueError, match="action"):
+            rule_from_dict(data)
+
+    def test_width_mismatch_rejected(self):
+        data = rule_to_dict(
+            Rule.from_prefix("10.0.0.0/8", 9, Action.output(1), rule_id=1)
+        )
+        data["width"] = 16
+        with pytest.raises(ValueError, match="width"):
+            rule_from_dict(data)
+
+
+def run_cli(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestCli:
+    def test_clean_scenario_exits_zero(self):
+        result = run_cli("scenario", "--steps", "40")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "0 error(s)" in result.stdout
+
+    @pytest.mark.parametrize(
+        "corruption", ["swap-priority", "drop-rule", "duplicate"]
+    )
+    def test_each_corruption_is_caught(self, corruption):
+        result = run_cli("scenario", "--steps", "40", "--corrupt", corruption)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "error" in result.stdout
+
+    def test_scenario_snapshot_verifies_clean_offline(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        written = run_cli("scenario", "--steps", "40", "--out", path)
+        assert written.returncode == 0, written.stdout + written.stderr
+        verified = run_cli("verify", path)
+        assert verified.returncode == 0, verified.stdout + verified.stderr
+
+    def test_lint_flags_the_bad_fixture(self):
+        result = run_cli("lint", FIXTURE)
+        assert result.returncode == 1
+        assert "unseeded-random" in result.stdout
+
+    def test_lint_passes_on_shipped_sources(self):
+        result = run_cli("lint", os.path.join(REPO_ROOT, "src", "repro"))
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_missing_snapshot_is_a_usage_error(self):
+        result = run_cli("verify", "/nonexistent/snapshot.json")
+        assert result.returncode == 2

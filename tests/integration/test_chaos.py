@@ -16,8 +16,11 @@ from repro.experiments.chaos import ChaosConfig, run_cell
 
 SMALL = ChaosConfig(job_count=6, max_time=4.0)
 
-# Row tail indices returned by run_cell.
-INSTALLS, RETRIES, INJECTED, LOST, DUPS, INVARIANT = 0, 1, 2, 3, 4, 5
+# Row tail indices returned by run_cell; VIOLATIONS is the structured
+# record list the ruleset verifier appends (and extras exposes).
+INSTALLS, RETRIES, INJECTED, LOST, DUPS, INVARIANT, VIOLATIONS = (
+    0, 1, 2, 3, 4, 5, 7,
+)
 
 
 class TestChaosCells:
@@ -31,6 +34,15 @@ class TestChaosCells:
         assert cell[INJECTED] > 0  # ...and faults really were injected
         # One redelivery per injected loss, none wasted:
         assert cell[RETRIES] == cell[INJECTED]
+
+    def test_cells_record_structured_verifier_output(self):
+        # The invariant/duplicate columns are now *derived* from the shared
+        # ruleset verifier's records, so a clean cell must report both an
+        # empty record list and zero counts — and a corrupted record list
+        # would surface per-switch attribution.
+        cell = run_cell("hermes", "resilient", 0.1, SMALL)
+        assert cell[VIOLATIONS] == []
+        assert cell[DUPS] == 0 and cell[INVARIANT] == 0
 
     def test_naive_channel_loses_installs(self):
         cell = run_cell("naive", "naive", 0.1, SMALL)

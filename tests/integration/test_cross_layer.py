@@ -10,6 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import verify_partition
 from repro.bgp import BgpRouter, generate_updates, get_router_profile
 from repro.core import GuaranteeSpec, HermesConfig, HermesInstaller, HermesService
 from repro.switchsim import DirectInstaller, FlowMod, SwitchAgent
@@ -38,6 +39,8 @@ class TestBgpThroughHermes:
         # Force any shadow remainder through a final migration, then check
         # that every reachable prefix forwards out the RIB-selected port.
         hermes.rule_manager.migrate(now=updates[-1].time + 1.0)
+        # The partitioned pair must provably behave like one table.
+        assert hermes.verify() == []
         checked = 0
         for route in router.rib.best_routes():
             probe = route.prefix.first_address
@@ -108,8 +111,10 @@ class TestChurnDifferential:
             hermes.apply(FlowMod.add(pair[0]))
             direct.apply(FlowMod.add(pair[1]))
             installed.append(pair)
-        # Force one more migration mid-state, then probe boundaries.
+        # Force one more migration mid-state, then let the static verifier
+        # check the pair wholesale before the probe-based differential.
         hermes.rule_manager.migrate(time)
+        assert verify_partition(hermes.shadow.rules(), hermes.main.rules()) == []
         probes = set()
         for h_rule, _ in installed:
             prefix = h_rule.match.to_prefix()

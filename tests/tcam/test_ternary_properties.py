@@ -1,0 +1,128 @@
+"""Algebraic property tests for :class:`TernaryMatch`.
+
+The ruleset verifier's completeness argument rests on the subtract /
+intersect / contains algebra behaving like honest set operations, so these
+properties pin the algebra down against exhaustive key enumeration at a
+small width (8 bits = 256 keys, cheap to enumerate).  They complement the
+example-based tests in ``test_ternary.py``: everything here is a law that
+must hold for *all* matches, found by hypothesis rather than hand-picked.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcam.ternary import TernaryMatch
+
+WIDTH = 8
+
+
+@st.composite
+def matches(draw, width=WIDTH):
+    mask = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1)) & mask
+    return TernaryMatch(value, mask, width)
+
+
+def keys_of(match):
+    return {key for key in range(1 << match.width) if match.matches(key)}
+
+
+class TestOverlapLaws:
+    @given(matches(), matches())
+    def test_overlap_is_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(matches())
+    def test_overlap_is_reflexive(self, a):
+        assert a.overlaps(a)
+
+    @given(matches(), matches())
+    def test_overlap_iff_intersection_nonempty(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(matches(), matches())
+    def test_contains_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+
+
+class TestContainsLaws:
+    @given(matches())
+    def test_contains_is_reflexive(self, a):
+        assert a.contains(a)
+
+    @given(matches(), matches())
+    def test_mutual_containment_is_equality(self, a, b):
+        if a.contains(b) and b.contains(a):
+            assert a == b
+
+    @given(matches(), matches(), matches())
+    def test_contains_is_transitive(self, a, b, c):
+        if a.contains(b) and b.contains(c):
+            assert a.contains(c)
+
+    @given(matches())
+    def test_wildcard_contains_everything(self, a):
+        assert TernaryMatch.wildcard(width=WIDTH).contains(a)
+
+
+class TestIntersectLaws:
+    @given(matches(), matches())
+    def test_intersect_commutes(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(matches())
+    def test_intersect_is_idempotent(self, a):
+        assert a.intersect(a) == a
+
+    @given(matches())
+    def test_wildcard_is_the_identity(self, a):
+        assert a.intersect(TernaryMatch.wildcard(width=WIDTH)) == a
+
+    @given(matches(), matches())
+    def test_containment_absorbs(self, a, b):
+        if a.contains(b):
+            assert a.intersect(b) == b
+
+    @given(matches(), matches(), matches())
+    def test_intersect_associates(self, a, b, c):
+        def chain(x, y, z):
+            left = x.intersect(y)
+            return None if left is None else left.intersect(z)
+
+        assert chain(a, b, c) == chain(c, b, a)
+
+    @given(matches(), matches())
+    def test_intersection_is_contained_in_both(self, a, b):
+        inter = a.intersect(b)
+        if inter is not None:
+            assert a.contains(inter) and b.contains(inter)
+
+
+class TestSubtractLaws:
+    @given(matches())
+    def test_subtracting_self_is_empty(self, a):
+        assert a.subtract(a) == []
+
+    @given(matches(), matches())
+    def test_subtract_and_intersect_partition_exactly(self, a, b):
+        # a = (a - b) ⊎ (a ∩ b), with every part pairwise disjoint.
+        inter = a.intersect(b)
+        covered = set() if inter is None else keys_of(inter)
+        for fragment in a.subtract(b):
+            fragment_keys = keys_of(fragment)
+            assert not fragment_keys & covered, "parts overlap"
+            covered |= fragment_keys
+        assert covered == keys_of(a)
+
+    @given(matches(), matches())
+    def test_fragments_are_contained_in_the_minuend(self, a, b):
+        for fragment in a.subtract(b):
+            assert a.contains(fragment)
+            assert not fragment.overlaps(b)
+
+
+class TestSizeLaw:
+    @given(matches())
+    def test_size_agrees_with_enumeration(self, a):
+        assert a.size == len(keys_of(a))
