@@ -29,6 +29,12 @@ Rules
     ``==`` / ``!=`` between values that look like event timestamps
     (``now``, ``deadline``, ``*_time``, ``*_until``, ...).  Computed floats
     must be compared with tolerances or orderings.
+``tracer-wall-clock``
+    A wall-clock read (``time.time()`` and friends) passed to a tracer or
+    span method (``start_span`` / ``event`` / ``sample`` / ``finish`` /
+    ``annotate``).  Trace timestamps must come from *sim* time, or two
+    runs of the same scenario produce different traces and the
+    golden-trace determinism guarantee breaks.
 ``bare-pragma``
     A suppression pragma with no justification (see below).
 
@@ -57,6 +63,7 @@ UNSEEDED_RANDOM = "unseeded-random"
 WALL_CLOCK = "wall-clock"
 UNORDERED_ITERATION = "unordered-iteration"
 FLOAT_EQ = "float-eq"
+TRACER_WALL_CLOCK = "tracer-wall-clock"
 BARE_PRAGMA = "bare-pragma"
 
 ALL_RULES = (
@@ -64,6 +71,7 @@ ALL_RULES = (
     WALL_CLOCK,
     UNORDERED_ITERATION,
     FLOAT_EQ,
+    TRACER_WALL_CLOCK,
     BARE_PRAGMA,
 )
 
@@ -119,6 +127,10 @@ _ORDER_SENSITIVE_SINKS = {"list", "tuple", "enumerate", "iter", "sum", "zip"}
 _TIMEY_EXACT = {"now", "time", "deadline", "timestamp"}
 _TIMEY_SUFFIXES = ("_time", "_until", "_deadline", "_timestamp", "_at")
 
+# Methods of repro.obs tracers/spans that take (sim-time) timestamps.
+_TRACER_METHODS = {"start_span", "event", "sample"}
+_SPAN_METHODS = {"finish", "annotate"}
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -168,6 +180,21 @@ def _looks_timey(node: ast.AST) -> bool:
     return bare in _TIMEY_EXACT or any(
         bare.endswith(suffix) for suffix in _TIMEY_SUFFIXES
     )
+
+
+def _wall_clock_name(node: ast.AST) -> str:
+    """'time.time' / 'datetime.now' for a wall-clock read call, else ''."""
+    if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+        return ""
+    func = node.func
+    if _root_name(func) == "time" and func.attr in _WALL_CLOCK_TIME_FUNCS:
+        return f"time.{func.attr}"
+    if (
+        func.attr in _WALL_CLOCK_DATETIME_FUNCS
+        and _identifier_of(func.value) in {"datetime", "date"}
+    ):
+        return f"{_identifier_of(func.value)}.{func.attr}"
+    return ""
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -221,6 +248,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 self._exempt_nodes.add(id(arg))
         self._check_random_call(node)
         self._check_wall_clock_call(node)
+        self._check_tracer_args(node)
         self._check_set_sink(node)
         self.generic_visit(node)
 
@@ -259,27 +287,43 @@ class _DeterminismVisitor(ast.NodeVisitor):
             )
 
     def _check_wall_clock_call(self, node: ast.Call) -> None:
+        name = _wall_clock_name(node)
+        if name:
+            self._flag(
+                node,
+                WALL_CLOCK,
+                f"wall-clock read '{name}()' — real time must not "
+                "reach simulated time",
+            )
+
+    def _check_tracer_args(self, node: ast.Call) -> None:
+        """Wall-clock reads feeding a tracer/span call break golden traces."""
         func = node.func
         if not isinstance(func, ast.Attribute):
             return
-        root = _root_name(func)
-        if root == "time" and func.attr in _WALL_CLOCK_TIME_FUNCS:
-            self._flag(
-                node,
-                WALL_CLOCK,
-                f"wall-clock read 'time.{func.attr}()' — real time must not "
-                "reach simulated time",
+        receiver = _identifier_of(func.value).lower()
+        is_tracer = func.attr in _TRACER_METHODS and (
+            "tracer" in receiver
+            or (
+                isinstance(func.value, ast.Call)
+                and _identifier_of(func.value.func) == "get_tracer"
             )
-        elif (
-            func.attr in _WALL_CLOCK_DATETIME_FUNCS
-            and _identifier_of(func.value) in {"datetime", "date"}
-        ):
-            self._flag(
-                node,
-                WALL_CLOCK,
-                f"wall-clock read '{_identifier_of(func.value)}.{func.attr}()' "
-                "— real time must not reach simulated time",
-            )
+        )
+        is_span = func.attr in _SPAN_METHODS and "span" in receiver
+        if not (is_tracer or is_span):
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            for sub in ast.walk(value):
+                name = _wall_clock_name(sub)
+                if name:
+                    self._flag(
+                        sub,
+                        TRACER_WALL_CLOCK,
+                        f"'{name}()' feeding '{func.attr}()' on a "
+                        "tracer/span — trace timestamps must come from "
+                        "sim time",
+                    )
 
     def _check_set_sink(self, node: ast.Call) -> None:
         func = node.func

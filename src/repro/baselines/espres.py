@@ -50,6 +50,10 @@ class EspresInstaller(RuleInstaller):
         """The single physical table (scheduling never splits it)."""
         return self._direct.tables()
 
+    def shift_count(self) -> int:
+        """Cumulative entry shifts of the underlying table."""
+        return self._direct.shift_count()
+
     def apply(self, flow_mod: FlowMod) -> FlowModResult:
         """Apply a single FlowMod (no scheduling opportunity)."""
         return self._direct.apply(flow_mod)

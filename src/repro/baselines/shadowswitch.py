@@ -125,6 +125,10 @@ class ShadowSwitchInstaller(RuleInstaller):
         """Rules across both levels."""
         return len(self._software) + self.tcam.occupancy
 
+    def shift_count(self) -> int:
+        """Cumulative entry shifts of the hardware table."""
+        return self.tcam.stats.total_shifts
+
     def prefill(self, rules) -> None:
         """Background rules go straight to the TCAM (their steady state)."""
         for rule in rules:

@@ -52,6 +52,10 @@ class TangoInstaller(RuleInstaller):
         """The single physical table (aggregates included as installed)."""
         return self._direct.tables()
 
+    def shift_count(self) -> int:
+        """Cumulative entry shifts of the underlying table."""
+        return self._direct.shift_count()
+
     # ------------------------------------------------------------------
     # RuleInstaller interface
     # ------------------------------------------------------------------

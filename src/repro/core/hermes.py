@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..faults.table import FaultyTable, verified_insert
+from ..obs.tracer import get_tracer
 from ..switchsim.installer import RuleInstaller
 from ..switchsim.messages import FlowMod, FlowModCommand, FlowModResult
 from ..tcam.rule import Rule
@@ -411,6 +412,21 @@ class HermesInstaller(RuleInstaller):
         """
         return {"shadow": self.shadow.rules(), "main": self.main.rules()}
 
+    def shift_count(self) -> int:
+        """Cumulative entry shifts across both slices."""
+        return self.shadow.stats.total_shifts + self.main.stats.total_shifts
+
+    def gauges(self):
+        """Shadow/main occupancy and the admission bucket's token level."""
+        readings = {
+            "shadow.occupancy": float(self.shadow.occupancy),
+            "main.occupancy": float(self.main.occupancy),
+        }
+        bucket = self.gate_keeper.bucket
+        if bucket is not None:
+            readings["bucket.tokens"] = float(bucket.tokens)
+        return readings
+
     def verify(self, reference=None, include_warnings: bool = False):
         """Run the ruleset verifier against the live pair.
 
@@ -460,7 +476,18 @@ class HermesInstaller(RuleInstaller):
         )
         if decision.reason == "degraded":
             self.degraded_inserts += 1
+        tracer = get_tracer()
         if not decision.use_shadow:
+            if tracer.enabled:
+                # Diverted inserts skip Algorithm 1: no partition cost.
+                tracer.event(
+                    "hermes.gatekeeper",
+                    time=self._now,
+                    category="hermes",
+                    reason=decision.reason,
+                    use_shadow=False,
+                    latency=0.0,
+                )
             # Diverted inserts are still offered load: the predictor must
             # see them or a full shadow looks like a quiet workload.
             self.rule_manager.note_arrival(1)
@@ -480,6 +507,19 @@ class HermesInstaller(RuleInstaller):
         latency = self.config.partition_latency_budget * max(
             32, 4 * len(blockers)
         )
+        if tracer.enabled:
+            # ``latency`` at this point is pure GateKeeper + Algorithm 1
+            # cost; the TCAM writes below add on top of it.
+            tracer.event(
+                "hermes.gatekeeper",
+                time=self._now,
+                category="hermes",
+                reason=decision.reason,
+                use_shadow=True,
+                latency=latency,
+                blockers=len(blockers),
+                fragments=len(outcome.fragments),
+            )
         installed: List[int] = []
         for fragment in outcome.fragments:
             if self.shadow.is_full:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..faults.table import TcamWriteError, verified_insert
+from ..obs.tracer import get_tracer
 from ..tcam.rule import Rule
 from ..tcam.table import TcamTable
 from ..tcam.ternary import TernaryMatch
@@ -235,6 +236,13 @@ class RuleManager:
     # ------------------------------------------------------------------
     def migrate(self, now: float) -> MigrationReport:
         """Run the four-step migration workflow immediately."""
+        tracer = get_tracer()
+        span = tracer.start_span(
+            "hermes.migration", start=now, category="hermes"
+        )
+        shifts_before = (
+            self.shadow.stats.total_shifts + self.main.stats.total_shifts
+        )
         shadow_rules = self.shadow.rules()
         rules_copied = len(shadow_rules)
         copy_time = self.copy_unit_cost * (rules_copied + self.main.occupancy)
@@ -249,6 +257,7 @@ class RuleManager:
                 write_time=0.0,
             )
             self.migrations.append(report)
+            span.finish(end=now + report.duration, rules_copied=0)
             return report
 
         optimized, merged_away, optimizer_time = self._optimize(shadow_rules)
@@ -292,6 +301,20 @@ class RuleManager:
             rules_reissued=reissued,
         )
         self.migrations.append(report)
+        span.finish(
+            end=now + report.duration,
+            rules_copied=rules_copied,
+            rules_written=len(optimized),
+            merged_away=merged_away,
+            reissued=reissued,
+            optimizer_time=optimizer_time,
+            write_time=write_time,
+            shifts=(
+                self.shadow.stats.total_shifts
+                + self.main.stats.total_shifts
+                - shifts_before
+            ),
+        )
         return report
 
     def migrations_per_second(self, horizon: float) -> float:

@@ -29,6 +29,7 @@ from ..analysis import ExperimentResult, verify_installer
 from ..analysis.violations import DUPLICATE_ENTRY, PRIORITY_INVERSION
 from ..baselines import make_installer
 from ..faults import FaultInjector, FaultPlan, FlowModFault, TcamWriteFault
+from ..obs import OnlineVerifier, RecordingTracer, use_tracer
 from ..simulator import Simulation, SimulationConfig, TeAppConfig
 from ..switchsim import ChannelConfig
 from ..tcam import get_switch_model
@@ -58,6 +59,7 @@ class ChaosConfig:
     switch: str = "pica8-p3290"
     max_time: float = 8.0
     seed: int = 11
+    verify_every: int = 25  # online-verifier sampling period, in actions
 
 
 def verify_simulation(simulation) -> List[dict]:
@@ -84,8 +86,16 @@ def run_cell(
 ):
     """One (scheme, channel, drop-rate) cell.
 
-    Returns the measured row tail, with the verifier's structured
-    violation records appended as the final element.
+    The cell runs under a :class:`~repro.obs.RecordingTracer`: the retry
+    and injected-loss columns are read back from the metrics registry the
+    trace feeds (rather than ad-hoc counters), and an
+    :class:`~repro.obs.OnlineVerifier` re-checks table invariants *during*
+    the run on a sampled schedule, catching the first violating
+    sim-instant instead of only the end state.
+
+    Returns the measured row tail, then the verifier's structured
+    violation records, then an observability dict (online-verification
+    report plus the full counter dump).
     """
     graph = build_fat_tree(
         FatTreeSpec(k=config.fat_tree_k, link_capacity=config.link_capacity)
@@ -121,10 +131,35 @@ def run_cell(
     factory = lambda name: make_installer(
         scheme, timing, hermes_config=hermes_config, injector=injector
     )
-    simulation = Simulation(graph, flows, factory, sim_config, injector=injector)
-    metrics = simulation.run()
-    counts = injector.log.counts()
-    drops = counts.get("flowmod-drop", 0) + counts.get("flowmod-ack-loss", 0)
+    tracer = RecordingTracer(
+        meta={
+            "experiment": "chaos",
+            "scheme": scheme,
+            "channel": channel,
+            "drop_rate": drop_rate,
+            "seed": config.seed,
+        }
+    )
+    with use_tracer(tracer):
+        simulation = Simulation(
+            graph, flows, factory, sim_config, injector=injector
+        )
+        verifier = OnlineVerifier(
+            {
+                name: agent.installer
+                for name, agent in simulation.controller.agents.items()
+            },
+            every=config.verify_every,
+        )
+        verifier.attach(tracer)
+        metrics = simulation.run()
+    registry = tracer.metrics
+    fault_events = registry.counter("hermes_fault_events_total")
+    drops = int(
+        fault_events.value(kind="flowmod-drop")
+        + fault_events.value(kind="flowmod-ack-loss")
+    )
+    retries = int(registry.counter("hermes_channel_retries_total").total())
     violations = verify_simulation(simulation)
     invariant = sum(
         1 for entry in violations if entry["kind"] == PRIORITY_INVERSION
@@ -132,15 +167,20 @@ def run_cell(
     duplicates = sum(
         1 for entry in violations if entry["kind"] == DUPLICATE_ENTRY
     )
+    observability = {
+        "online": verifier.report(),
+        "counters": registry.as_dict(),
+    }
     return (
         len(metrics.rits()),
-        simulation.controller.total_channel_retries(),
+        retries,
         drops,
         metrics.undelivered_total(),
         duplicates,
         invariant,
         round(simulation.blackhole_time * 1e3, 3),
         violations,
+        observability,
     )
 
 
@@ -149,18 +189,30 @@ def run(config: ChaosConfig = ChaosConfig()) -> ExperimentResult:
 
     Every cell's end-state tables are checked with the shared ruleset
     verifier; the structured violation records (normally empty) land in
-    the result's ``extras["violations"]``, keyed by cell.
+    the result's ``extras["violations"]``, keyed by cell.  Each cell also
+    contributes its online-verification report
+    (``extras["online_verification"]``) and the metrics-registry dump
+    (``extras["metrics"]``) from the cell's recording tracer.
     """
     rows: List[tuple] = []
     violations_by_cell = {}
+    online_by_cell = {}
+    metrics_by_cell = {}
     for label, scheme, channel in SCHEMES:
         for drop_rate in config.drop_rates:
             cell = run_cell(scheme, channel, drop_rate, config)
-            rows.append((label, drop_rate) + cell[:-1])
-            if cell[-1]:
-                violations_by_cell[f"{label} @ {drop_rate}"] = cell[-1]
+            rows.append((label, drop_rate) + cell[:-2])
+            key = f"{label} @ {drop_rate}"
+            if cell[-2]:
+                violations_by_cell[key] = cell[-2]
+            online_by_cell[key] = cell[-1]["online"]
+            metrics_by_cell[key] = cell[-1]["counters"]
     return ExperimentResult(
-        extras={"violations": violations_by_cell},
+        extras={
+            "violations": violations_by_cell,
+            "online_verification": online_by_cell,
+            "metrics": metrics_by_cell,
+        },
         experiment_id="Extension (chaos)",
         title="Installs lost vs. control-channel drop rate, by scheme",
         headers=[

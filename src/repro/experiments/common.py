@@ -16,6 +16,7 @@ import numpy as np
 
 from ..baselines import make_installer
 from ..core import GuaranteeSpec, HermesConfig
+from ..obs.tracer import Tracer, get_tracer, use_tracer
 from ..simulator import Simulation, SimulationConfig, TeAppConfig
 from ..switchsim import SwitchAgent
 from ..tcam import get_switch_model
@@ -208,16 +209,23 @@ def run_te_simulation(
     hermes_config: Optional[HermesConfig] = None,
     config: Optional[SimulationConfig] = None,
     seed: int = 100,
+    tracer: Optional[Tracer] = None,
 ):
-    """Run one (workload x scheme x switch) simulation; returns (metrics, sim)."""
+    """Run one (workload x scheme x switch) simulation; returns (metrics, sim).
+
+    Passing a :class:`~repro.obs.RecordingTracer` as ``tracer`` records
+    the run's control-plane trace; None leaves the ambient (default no-op)
+    tracer in place, so untraced runs are byte-identical to the seed.
+    """
     factory = installer_factory(scheme, switch, hermes_config, seed=seed)
-    simulation = Simulation(
-        graph,
-        list(flows),
-        factory,
-        config if config is not None else te_simulation_config(),
-    )
-    metrics = simulation.run()
+    with use_tracer(tracer if tracer is not None else get_tracer()):
+        simulation = Simulation(
+            graph,
+            list(flows),
+            factory,
+            config if config is not None else te_simulation_config(),
+        )
+        metrics = simulation.run()
     return metrics, simulation
 
 
@@ -254,6 +262,7 @@ def replay_trace(
     prefill_rules: Sequence = (),
     batch_window: Optional[float] = None,
     seed: int = 7,
+    tracer: Optional[Tracer] = None,
 ) -> ReplayOutcome:
     """Replay a timed trace against a fresh single-switch installer.
 
@@ -268,6 +277,8 @@ def replay_trace(
             aggregation opportunities, as their controller-side batching
             would).
         seed: RNG seed for latency noise.
+        tracer: optional recording tracer for the replayed agent; None
+            uses the ambient (default no-op) tracer.
     """
     installer = make_installer(
         scheme,
@@ -277,7 +288,7 @@ def replay_trace(
     )
     if prefill_rules:
         installer.prefill(list(prefill_rules))
-    agent = SwitchAgent(installer, name=f"{scheme}@{switch}")
+    agent = SwitchAgent(installer, name=f"{scheme}@{switch}", tracer=tracer)
     response_times: List[float] = []
     execution_latencies: List[float] = []
 

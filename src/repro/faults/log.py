@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.tracer import get_tracer
+
 
 @dataclass
 class FaultEvent:
@@ -39,11 +41,17 @@ class FaultLog:
         self._counts: Dict[str, int] = {}
 
     def record(self, kind: str, time: float, target: str = "", **detail) -> None:
-        """Append one event."""
+        """Append one event (mirrored into the active tracer, if any)."""
         self._events.append(
             FaultEvent(time=time, kind=kind, target=target, detail=dict(detail))
         )
         self._counts[kind] = self._counts.get(kind, 0) + 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                f"fault.{kind}", time=time, category="fault",
+                switch=target, **detail,
+            )
 
     def events(self, kind: Optional[str] = None) -> List[FaultEvent]:
         """All events, optionally filtered to one kind, in record order."""

@@ -1,0 +1,83 @@
+"""Observability for the control plane: tracing, metrics, exporters.
+
+``repro.obs`` is zero-dependency (stdlib only) and built around sim time:
+
+* :mod:`~repro.obs.tracer` — spans, events, gauge samples; a no-op global
+  tracer by default so untraced runs stay byte-identical to the seed.
+* :mod:`~repro.obs.metrics` — counters, gauges, fixed-bucket histograms.
+* :mod:`~repro.obs.export` — JSONL (``hermes-trace/1``), Chrome
+  trace-event JSON, Prometheus text.
+* :mod:`~repro.obs.summary` — per-stage FlowMod breakdowns and trace diffs
+  (the engine behind ``python -m repro.obs``).
+* :mod:`~repro.obs.online` — the tracer-listener verification hook.
+
+See ``docs/observability.md`` for the span taxonomy and trace schema.
+"""
+
+from .export import (
+    chrome_trace,
+    parse_trace_lines,
+    read_trace,
+    trace_lines,
+    write_chrome_trace,
+    write_prometheus,
+    write_trace,
+)
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .online import OnlineVerifier
+from .summary import (
+    FlowModBreakdown,
+    TraceSummary,
+    flowmod_breakdowns,
+    percentile,
+    render_diff,
+    render_summary,
+    summarize,
+)
+from .tracer import (
+    NULL_SPAN,
+    TRACE_FORMAT,
+    RecordingTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "TRACE_FORMAT",
+    "NULL_SPAN",
+    "Tracer",
+    "RecordingTracer",
+    "Span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "trace_lines",
+    "write_trace",
+    "parse_trace_lines",
+    "read_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+    "OnlineVerifier",
+    "FlowModBreakdown",
+    "TraceSummary",
+    "flowmod_breakdowns",
+    "summarize",
+    "percentile",
+    "render_summary",
+    "render_diff",
+]

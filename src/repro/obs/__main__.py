@@ -1,0 +1,168 @@
+"""``python -m repro.obs`` — trace summarizer, differ, and demo scenario.
+
+Subcommands:
+
+* ``summary TRACE`` — per-stage latency percentiles (gatekeeper / queue /
+  tcam / channel), top-k slowest FlowMods, gauge timelines.
+* ``diff A B`` — stage-by-stage comparison of two traces.
+* ``scenario --out-dir DIR`` — run a small traced simulation and export
+  all three formats (JSONL trace, Chrome trace-event JSON, Prometheus
+  text); what the CI ``obs`` job round-trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .export import read_trace
+from .summary import render_diff, render_summary, summarize
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    header, records = read_trace(args.trace)
+    summary = summarize(header, records)
+    print(render_summary(summary, top=args.top, per_flowmod=args.per_flowmod))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    header_a, records_a = read_trace(args.trace_a)
+    header_b, records_b = read_trace(args.trace_b)
+    print(
+        render_diff(
+            summarize(header_a, records_a),
+            summarize(header_b, records_b),
+            args.trace_a,
+            args.trace_b,
+        )
+    )
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    # Heavy imports stay local: `summary`/`diff` must work without numpy.
+    import numpy as np
+
+    from ..baselines import make_installer
+    from ..experiments.common import default_hermes_config
+    from ..faults import FaultInjector, FaultPlan, FlowModFault
+    from ..simulator import Simulation, SimulationConfig, TeAppConfig
+    from ..switchsim import ChannelConfig
+    from ..tcam import get_switch_model
+    from ..topology import FatTreeSpec, build_fat_tree, hosts
+    from ..traffic import flows_of, generate_jobs
+    from .export import write_chrome_trace, write_prometheus, write_trace
+    from .tracer import RecordingTracer, use_tracer
+
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    flows = flows_of(
+        generate_jobs(
+            hosts(graph),
+            job_count=args.jobs,
+            arrival_rate=6.0,
+            rng=np.random.default_rng(args.seed),
+        )
+    )
+    plan = FaultPlan(
+        flowmod=FlowModFault(drop=args.drop, ack_loss_fraction=0.3, duplicate=0.02)
+    )
+    injector = FaultInjector(plan=plan, seed=args.seed)
+    sim_config = SimulationConfig(
+        te=TeAppConfig(epoch=0.25),
+        baseline_occupancy=200,
+        max_time=args.max_time,
+        channel="resilient",
+        channel_config=ChannelConfig(),
+        fault_plan=plan,
+        fault_seed=args.seed,
+    )
+    timing = get_switch_model(args.switch)
+    hermes_config = default_hermes_config() if args.scheme == "hermes" else None
+
+    def factory(name):
+        return make_installer(
+            args.scheme, timing, hermes_config=hermes_config, injector=injector
+        )
+
+    tracer = RecordingTracer(
+        meta={
+            "scenario": "obs-demo",
+            "scheme": args.scheme,
+            "switch": args.switch,
+            "drop": args.drop,
+            "seed": args.seed,
+        }
+    )
+    with use_tracer(tracer):
+        simulation = Simulation(graph, flows, factory, sim_config, injector=injector)
+        metrics = simulation.run()
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    trace_path = os.path.join(args.out_dir, "trace.jsonl")
+    chrome_path = os.path.join(args.out_dir, "trace.chrome.json")
+    prom_path = os.path.join(args.out_dir, "metrics.prom")
+    write_trace(tracer, trace_path)
+    write_chrome_trace(tracer, chrome_path)
+    write_prometheus(tracer.metrics, prom_path)
+    print(
+        f"scenario: {args.scheme} on {args.switch}, drop={args.drop}, "
+        f"{len(metrics.rits())} installs, {len(tracer.records)} trace records"
+    )
+    for path in (trace_path, chrome_path, prom_path):
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, diff, or generate hermes-trace/1 traces.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = subparsers.add_parser("summary", help="summarize one trace")
+    p_summary.add_argument("trace", help="path to a hermes-trace/1 JSONL file")
+    p_summary.add_argument(
+        "--top", type=int, default=5, help="slowest FlowMods to list (default 5)"
+    )
+    p_summary.add_argument(
+        "--per-flowmod",
+        action="store_true",
+        help="print the stage breakdown of every installed FlowMod",
+    )
+    p_summary.set_defaults(func=_cmd_summary)
+
+    p_diff = subparsers.add_parser("diff", help="compare two traces")
+    p_diff.add_argument("trace_a", help="baseline trace")
+    p_diff.add_argument("trace_b", help="candidate trace")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    p_scenario = subparsers.add_parser(
+        "scenario", help="run a small traced simulation and export all formats"
+    )
+    p_scenario.add_argument("--out-dir", required=True, help="output directory")
+    p_scenario.add_argument("--scheme", default="hermes", help="installer scheme")
+    p_scenario.add_argument(
+        "--switch", default="pica8-p3290", help="switch-model registry key"
+    )
+    p_scenario.add_argument(
+        "--drop", type=float, default=0.1, help="FlowMod drop rate"
+    )
+    p_scenario.add_argument("--jobs", type=int, default=6, help="job count")
+    p_scenario.add_argument(
+        "--max-time", type=float, default=6.0, help="sim horizon (s)"
+    )
+    p_scenario.add_argument("--seed", type=int, default=11, help="workload seed")
+    p_scenario.set_defaults(func=_cmd_scenario)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,284 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency and deterministic by construction: histogram bucket
+boundaries are fixed at creation (never derived from the data), label sets
+are stored as sorted tuples, and every export walks metrics and labels in
+sorted order — two processes recording the same series dump byte-identical
+text.
+
+The registry is the aggregate side of :mod:`repro.obs`: the
+:class:`~repro.obs.tracer.RecordingTracer` folds every span/event/sample it
+records into one (see ``_fold_into_metrics``), and experiments consume the
+folded counters instead of reaching into per-component stats objects.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets in seconds: 100 us .. 1 s, a 1-2.5-5 ladder.
+#: Fixed (never data-derived) so two runs bucket identically.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((name, str(value)) for name, value in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(sorted(key + extra))
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing value, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (default 1) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0 when never incremented)."""
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across all labelled series."""
+        return sum(self._values.values())
+
+    def series(self) -> List[Tuple[LabelKey, float]]:
+        """All (labels, value) pairs in sorted label order."""
+        return sorted(self._values.items())
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "values": {_render_labels(key) or "": value for key, value in self.series()},
+            "total": self.total(),
+        }
+
+    def prometheus_lines(self) -> List[str]:
+        lines = self._header_lines()
+        for key, value in self.series() or [((), 0.0)]:
+            lines.append(f"{self.name}{_render_labels(key)} {_format_number(value)}")
+        return lines
+
+    def _header_lines(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Gauge(Counter):
+    """A value that can go up and down (last write wins per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def total(self) -> float:
+        """For gauges this is the sum of current values, not a rate."""
+        return sum(self._values.values())
+
+
+class Histogram:
+    """Cumulative histogram over fixed, ascending bucket boundaries.
+
+    Boundaries are upper-inclusive (Prometheus ``le`` semantics) and fixed
+    at creation so the bucketing of a value never depends on what else was
+    observed — the determinism requirement of the golden-trace tests.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if not self.buckets:
+            raise ValueError(f"{name}: a histogram needs at least one bucket")
+        if any(nxt <= prev for prev, nxt in zip(self.buckets, self.buckets[1:])):
+            raise ValueError(f"{name}: bucket boundaries must strictly ascend")
+        # One count per finite bucket plus the +Inf overflow bucket.
+        self._counts: List[int] = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self.buckets, value)
+        self._counts[index] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return self._sum
+
+    def mean(self) -> float:
+        """Average observation (0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs, ending with +Inf."""
+        cumulative = 0
+        pairs: List[Tuple[float, int]] = []
+        for boundary, count in zip(self.buckets, self._counts):
+            cumulative += count
+            pairs.append((boundary, cumulative))
+        pairs.append((float("inf"), self._count))
+        return pairs
+
+    def quantile(self, fraction: float) -> float:
+        """Bucket-resolution quantile: the upper bound of the bucket that
+        contains the requested fraction of observations (conservative)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1]: {fraction}")
+        if self._count == 0:
+            return 0.0
+        target = fraction * self._count
+        cumulative = 0
+        for boundary, count in zip(self.buckets, self._counts):
+            cumulative += count
+            if cumulative >= target:
+                return boundary
+        return float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "count": self._count,
+            "sum": self._sum,
+            "buckets": [
+                [_format_number(boundary), count]
+                for boundary, count in self.bucket_counts()
+            ],
+        }
+
+    def prometheus_lines(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for boundary, cumulative in self.bucket_counts():
+            le = "+Inf" if boundary == float("inf") else _format_number(boundary)
+            lines.append(f'{self.name}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{self.name}_sum {_format_number(self._sum)}")
+        lines.append(f"{self.name}_count {self._count}")
+        return lines
+
+
+def _format_number(value: float) -> str:
+    """Render a number without float noise: integers stay integral."""
+    if not math.isfinite(value):
+        return repr(float(value))  # 'inf', '-inf', 'nan'
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    fixes the metric's type (and a histogram's buckets); later calls return
+    the existing instance and raise on a type mismatch.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        help: str = "",
+    ) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = Histogram(
+            name, buckets=buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS,
+            help=help,
+        )
+        self._metrics[name] = metric
+        return metric
+
+    def _get_or_create(self, name: str, factory, help: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not factory:
+                raise TypeError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = factory(name, help=help)
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str):
+        """The registered metric, or None."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def as_dict(self) -> Dict[str, dict]:
+        """Deterministic nested-dict dump (sorted names and labels)."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}
+
+    def prometheus_text(self) -> str:
+        """Prometheus text-exposition dump of every metric, sorted by name."""
+        lines: List[str] = []
+        for name in self.names():
+            lines.extend(self._metrics[name].prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..obs.tracer import get_tracer
 from ..switchsim.agent import SwitchAgent
 from ..switchsim.channel import (
     Channel,
@@ -61,6 +62,8 @@ class InstallOutcome:
         ready_time: when the new path is fully programmed (all switches
             done) and the flow may switch over.
         per_switch_rits: rule-installation time at each switch touched.
+        per_switch_queue_delays: switch-CPU queueing delay of each
+            delivered FlowMod — the queue share of the RIT breakdown.
         retries: control-channel redeliveries this installation needed
             (always 0 on the naive channel).
         undelivered: FlowMods that never took effect on their switch —
@@ -69,6 +72,7 @@ class InstallOutcome:
 
     ready_time: float
     per_switch_rits: List[float] = field(default_factory=list)
+    per_switch_queue_delays: List[float] = field(default_factory=list)
     retries: int = 0
     undelivered: int = 0
 
@@ -167,8 +171,13 @@ class SdnController:
         usable once the slowest switch finishes (plus the returning half
         RTT for the barrier confirmation).
         """
+        span = get_tracer().start_span(
+            "install.path", start=now, category="controller",
+            flow=flow.flow_id,
+        )
         ready = now
         rits: List[float] = []
+        queue_delays: List[float] = []
         retries = 0
         undelivered = 0
         for switch in path_switches(path, self.graph):
@@ -189,10 +198,13 @@ class SdnController:
                 continue
             self._flow_rules[(flow.flow_id, switch)] = rule.rule_id
             rits.append(sent.completed.response_time)
+            queue_delays.append(sent.completed.queue_delay)
             ready = max(ready, sent.done_time + self.control_rtt / 2)
+        span.finish(end=ready, retries=retries, undelivered=undelivered)
         return InstallOutcome(
             ready_time=ready,
             per_switch_rits=rits,
+            per_switch_queue_delays=queue_delays,
             retries=retries,
             undelivered=undelivered,
         )
@@ -217,6 +229,10 @@ class SdnController:
                 )
                 self._flow_rules[(flow.flow_id, switch)] = rule.rule_id
                 per_switch.setdefault(switch, []).append((index, rule))
+        span = get_tracer().start_span(
+            "install.batch", start=now, category="controller",
+            assignments=len(assignments), switches=len(per_switch),
+        )
         outcomes = [InstallOutcome(ready_time=now) for _ in assignments]
         for switch, entries in per_switch.items():
             sent = self.channels[switch].send_batch(
@@ -235,6 +251,7 @@ class SdnController:
             for (index, _rule), action in zip(entries, sent.completed):
                 outcome = outcomes[index]
                 outcome.per_switch_rits.append(action.response_time)
+                outcome.per_switch_queue_delays.append(action.queue_delay)
                 outcome.retries += sent.retries
                 # The resilient channel's ack can trail the last TCAM write
                 # (redelivery); the path is only usable once the controller
@@ -245,6 +262,9 @@ class SdnController:
                 outcome.ready_time = max(
                     outcome.ready_time, done + self.control_rtt / 2
                 )
+        span.finish(
+            end=max((outcome.ready_time for outcome in outcomes), default=now)
+        )
         return outcomes
 
     def remove_flow_rules(

@@ -48,6 +48,7 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._flows: Dict[int, FlowRecord] = {}
         self._rits: List[float] = []
+        self._queue_delays: List[float] = []
         self._retries = 0
         self._undelivered = 0
         self._fault_counts: Dict[str, int] = {}
@@ -74,6 +75,11 @@ class MetricsCollector:
     def record_rit(self, latency: float) -> None:
         """Record one rule installation time."""
         self._rits.append(latency)
+
+    def record_queue_delay(self, delay: float) -> None:
+        """Record one action's switch-CPU queueing delay (the RIT share
+        spent waiting, as opposed to executing against the TCAM)."""
+        self._queue_delays.append(delay)
 
     def record_retries(self, count: int) -> None:
         """Count control-channel redeliveries."""
@@ -105,6 +111,10 @@ class MetricsCollector:
     def rits(self) -> List[float]:
         """All recorded rule installation times."""
         return list(self._rits)
+
+    def queue_delays(self) -> List[float]:
+        """Per-action queueing delays (pairs with :meth:`rits`)."""
+        return list(self._queue_delays)
 
     def jcts(self) -> Dict[int, float]:
         """Per-job completion times (only jobs whose flows all completed)."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
+from ..obs.tracer import get_tracer
 from ..topology.routing import Path, PathProvider, path_links
 from ..traffic.flows import FlowSpec
 from .fairshare import Link
@@ -71,11 +72,13 @@ class ProactiveTeApp:
         rates: Mapping[int, float],
         utilization: Mapping[Link, float],
         capacities: Mapping[Link, float],
+        now: float = 0.0,
     ) -> List[Reroute]:
         """Propose up to ``max_moves_per_epoch`` reroutes for this epoch.
 
         Utilization is updated incrementally as moves are chosen so one
-        epoch's moves do not all pile onto the same cold link.
+        epoch's moves do not all pile onto the same cold link.  ``now`` is
+        the sim time of the epoch, used only to timestamp trace events.
         """
         working_utilization: Dict[Link, float] = dict(utilization)
         congested = sorted(
@@ -86,7 +89,13 @@ class ProactiveTeApp:
             ),
             key=lambda link: -working_utilization[link],
         )
+        tracer = get_tracer()
         if not congested:
+            if tracer.enabled:
+                tracer.event(
+                    "te.plan", time=now, category="controller",
+                    congested=0, moves=0,
+                )
             return []
         moves: List[Reroute] = []
         moved_flows: set = set()
@@ -134,6 +143,11 @@ class ProactiveTeApp:
                 )
                 if working_utilization.get(hot_link, 0.0) <= self.config.utilization_threshold:
                     break
+        if tracer.enabled:
+            tracer.event(
+                "te.plan", time=now, category="controller",
+                congested=len(congested), moves=len(moves),
+            )
         return moves
 
     @staticmethod

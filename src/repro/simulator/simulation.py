@@ -21,6 +21,7 @@ import networkx as nx
 
 from ..faults.injector import FaultInjector
 from ..faults.spec import FaultPlan
+from ..obs.tracer import get_tracer
 from ..switchsim.channel import ChannelConfig
 from ..topology.routing import Path, PathProvider, path_links
 from ..traffic.flows import FlowSpec
@@ -166,6 +167,8 @@ class Simulation:
         """Fold one installation outcome into the metrics."""
         for rit in outcome.per_switch_rits:
             self.metrics.record_rit(rit)
+        for delay in outcome.per_switch_queue_delays:
+            self.metrics.record_queue_delay(delay)
         if outcome.retries:
             self.metrics.record_retries(outcome.retries)
         if outcome.undelivered:
@@ -330,7 +333,8 @@ class Simulation:
             moves = [
                 move
                 for move in self.app.plan(
-                    flows, eligible_paths, rates, utilization, self._capacities
+                    flows, eligible_paths, rates, utilization, self._capacities,
+                    now=self.now,
                 )
                 if move.flow_id in self._active
                 and not any(
@@ -400,6 +404,12 @@ class Simulation:
             healthy = self._first_healthy_path(state.spec)
             if healthy is not None and healthy != state.path:
                 repairs.append((flow_id, healthy))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "sim.link-fail", time=self.now, category="sim",
+                link=f"{link[0]}-{link[1]}", repairs=len(repairs),
+            )
         assignments = [
             (self._active[flow_id].spec, path) for flow_id, path in repairs
         ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.tracer import get_tracer
 from ..tcam.rule import Rule
 from .installer import RuleInstaller
 from .messages import FlowMod, FlowModResult
@@ -36,6 +37,7 @@ class CompletedAction:
         submit_time: when the controller's message reached the agent.
         start_time: when the switch CPU began executing it.
         finish_time: when the TCAM update completed.
+        shifts: physical entry shifts this action cost (installer delta).
     """
 
     flow_mod: FlowMod
@@ -43,11 +45,17 @@ class CompletedAction:
     submit_time: float
     start_time: float
     finish_time: float
+    shifts: int = 0
 
     @property
     def response_time(self) -> float:
         """Queueing plus execution time — the paper's rule installation time."""
         return self.finish_time - self.submit_time
+
+    @property
+    def queue_delay(self) -> float:
+        """Time spent waiting for the switch CPU before execution began."""
+        return self.start_time - self.submit_time
 
 
 @dataclass
@@ -62,6 +70,7 @@ class AgentStats:
     actions: int = 0
     guaranteed_actions: int = 0
     busy_time: float = 0.0
+    queue_time: float = 0.0
     background_time: float = 0.0
     stall_time: float = 0.0
     stalls: int = 0
@@ -75,6 +84,7 @@ class AgentStats:
         if completed.result.used_guaranteed_path:
             self.guaranteed_actions += 1
         self.busy_time += completed.finish_time - completed.start_time
+        self.queue_time += completed.queue_delay
         self.background_time += background_time
 
 
@@ -94,6 +104,7 @@ class SwitchAgent:
         installer: RuleInstaller,
         name: str = "switch",
         injector=None,
+        tracer=None,
     ) -> None:
         """Wrap ``installer`` behind a serial control queue.
 
@@ -103,15 +114,24 @@ class SwitchAgent:
             injector: optional :class:`~repro.faults.injector.FaultInjector`
                 supplying CPU-stall and crash decisions; None models a
                 perfectly reliable agent.
+            tracer: optional explicit :class:`~repro.obs.tracer.Tracer`;
+                None follows the process-global tracer (a no-op unless one
+                was installed).
         """
         self.installer = installer
         self.name = name
         self.injector = injector
+        self._tracer = tracer
         self.stats = AgentStats()
         self._busy_until = 0.0
         self._history: List[CompletedAction] = []
         # xid -> prior outcome, for exactly-once redelivery semantics.
         self._xid_cache: Dict[int, object] = {}
+
+    @property
+    def tracer(self):
+        """The injected tracer, or the process-global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     @property
     def busy_until(self) -> float:
@@ -125,6 +145,19 @@ class SwitchAgent:
     def install_latencies(self) -> List[float]:
         """Per-action response times — the series the RIT CDFs are built from."""
         return [completed.response_time for completed in self._history]
+
+    def queue_delays(self) -> List[float]:
+        """Per-action CPU queueing delays (submit to execution start)."""
+        return [completed.queue_delay for completed in self._history]
+
+    def _sample_gauges(self, tracer, at_time: float) -> None:
+        """Record the installer's gauge readings under this switch's name."""
+        readings = self.installer.gauges()
+        for gauge_name in sorted(readings):
+            tracer.sample(
+                gauge_name, time=at_time, value=readings[gauge_name],
+                switch=self.name,
+            )
 
     def _check_faults(self, at_time: float) -> None:
         """Consult the injector: crash loss raises, stalls push busy_until."""
@@ -147,13 +180,30 @@ class SwitchAgent:
         re-executed: the cached outcome is returned, so controller-side
         retransmissions cannot double-install.
         """
+        tracer = self.tracer
         if flow_mod.xid is not None and flow_mod.xid in self._xid_cache:
             self.stats.deduplicated += 1
+            tracer.event(
+                "agent.dedup", time=at_time, category="agent",
+                switch=self.name, xid=flow_mod.xid,
+            )
             return self._xid_cache[flow_mod.xid]
         self._check_faults(at_time)
+        span = tracer.start_span(
+            "agent.action", start=at_time, category="agent",
+            switch=self.name, command=flow_mod.command.value, xid=flow_mod.xid,
+        )
+        # advance_time first: migration-era shifts belong to the Rule
+        # Manager's own span, not to this action's delta.
         background = self.installer.advance_time(at_time)
+        shifts_before = self.installer.shift_count()
         start = max(at_time, self._busy_until)
-        result = self.installer.apply(flow_mod)
+        try:
+            result = self.installer.apply(flow_mod)
+        except BaseException:
+            span.finish(end=at_time, error=True)
+            raise
+        shifts = self.installer.shift_count() - shifts_before
         finish = start + result.latency
         self._busy_until = finish
         completed = CompletedAction(
@@ -162,11 +212,22 @@ class SwitchAgent:
             submit_time=at_time,
             start_time=start,
             finish_time=finish,
+            shifts=shifts,
         )
         self._history.append(completed)
         self.stats.record(completed, background_time=background)
         if flow_mod.xid is not None:
             self._xid_cache[flow_mod.xid] = completed
+        span.finish(
+            end=finish,
+            queue_delay=completed.queue_delay,
+            exec_latency=result.latency,
+            shifts=shifts,
+            guaranteed=result.used_guaranteed_path,
+            background=background,
+        )
+        if tracer.enabled:
+            self._sample_gauges(tracer, finish)
         return completed
 
     def submit_batch(
@@ -178,15 +239,30 @@ class SwitchAgent:
         results are timed serially in the installer's execution order.
         Batches are deduplicated as a unit by the xid of their first mod.
         """
+        tracer = self.tracer
         batch_xid = flow_mods[0].xid if flow_mods else None
         if batch_xid is not None and batch_xid in self._xid_cache:
             self.stats.deduplicated += 1
+            tracer.event(
+                "agent.dedup", time=at_time, category="agent",
+                switch=self.name, xid=batch_xid, batch=True,
+            )
             return self._xid_cache[batch_xid]
         self._check_faults(at_time)
+        batch_span = tracer.start_span(
+            "agent.batch", start=at_time, category="agent",
+            switch=self.name, size=len(flow_mods), xid=batch_xid,
+        )
         background = self.installer.advance_time(at_time)
+        shifts_before = self.installer.shift_count()
         start = max(at_time, self._busy_until)
         completed_actions: List[CompletedAction] = []
-        results = self.installer.apply_batch(flow_mods)
+        try:
+            results = self.installer.apply_batch(flow_mods)
+        except BaseException:
+            batch_span.finish(end=at_time, error=True)
+            raise
+        batch_shifts = self.installer.shift_count() - shifts_before
         cursor = start
         for index, (flow_mod, result) in enumerate(zip(flow_mods, results)):
             finish = cursor + result.latency
@@ -203,11 +279,30 @@ class SwitchAgent:
             self.stats.record(
                 completed, background_time=background if index == 0 else 0.0
             )
+            if tracer.enabled:
+                # Per-action child spans (parented on the open batch span);
+                # shifts are known only batch-wide, so they live on the
+                # batch span instead.
+                tracer.start_span(
+                    "agent.action", start=at_time, category="agent",
+                    switch=self.name, command=flow_mod.command.value,
+                    xid=flow_mod.xid,
+                ).finish(
+                    end=finish,
+                    queue_delay=completed.queue_delay,
+                    exec_latency=result.latency,
+                    guaranteed=result.used_guaranteed_path,
+                )
             cursor = finish
         self._busy_until = cursor
         self._history.extend(completed_actions)
         if batch_xid is not None:
             self._xid_cache[batch_xid] = completed_actions
+        batch_span.finish(
+            end=cursor, shifts=batch_shifts, background=background
+        )
+        if tracer.enabled:
+            self._sample_gauges(tracer, cursor)
         return completed_actions
 
     def lookup(self, key: int) -> Optional[Rule]:

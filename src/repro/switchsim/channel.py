@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..faults.injector import FaultInjector
+from ..obs.tracer import get_tracer
 from .agent import AgentDownError, CompletedAction, SwitchAgent
 from .messages import FlowMod
 
@@ -150,10 +151,21 @@ class NaiveChannel(Channel):
     ack is indistinguishable from success.
     """
 
-    def __init__(self, agent: SwitchAgent, injector: Optional[FaultInjector] = None) -> None:
+    def __init__(
+        self,
+        agent: SwitchAgent,
+        injector: Optional[FaultInjector] = None,
+        tracer=None,
+    ) -> None:
         self.agent = agent
         self.injector = injector
+        self._tracer = tracer
         self.stats = ChannelStats()
+
+    @property
+    def tracer(self):
+        """The injected tracer, or the process-global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     def _verdict_delay(self, at_time: float) -> Optional[float]:
         """Extra delivery delay, or None when the FlowMod is dropped."""
@@ -171,9 +183,14 @@ class NaiveChannel(Channel):
 
     def send(self, flow_mod: FlowMod, at_time: float) -> SendOutcome:
         self.stats.sends += 1
+        span = self.tracer.start_span(
+            "flowmod", start=at_time, category="channel",
+            switch=self.agent.name, kind="single",
+        )
         delay = self._verdict_delay(at_time)
         if delay is None:
             self.stats.give_ups += 1
+            span.finish(end=at_time, delivered=False, attempts=1)
             return SendOutcome(
                 completed=None, attempts=1, done_time=at_time, delivered=False
             )
@@ -181,9 +198,14 @@ class NaiveChannel(Channel):
             completed = self.agent.submit(flow_mod, at_time=at_time + delay)
         except AgentDownError:
             self.stats.give_ups += 1
+            span.finish(end=at_time, delivered=False, attempts=1)
             return SendOutcome(
                 completed=None, attempts=1, done_time=at_time, delivered=False
             )
+        except BaseException:
+            span.finish(end=at_time, error=True)
+            raise
+        span.finish(end=completed.finish_time, delivered=True, attempts=1)
         return SendOutcome(
             completed=completed,
             attempts=1,
@@ -195,9 +217,14 @@ class NaiveChannel(Channel):
         self, flow_mods: Sequence[FlowMod], at_time: float
     ) -> BatchSendOutcome:
         self.stats.sends += 1
+        span = self.tracer.start_span(
+            "flowmod", start=at_time, category="channel",
+            switch=self.agent.name, kind="batch", size=len(flow_mods),
+        )
         delay = self._verdict_delay(at_time)
         if delay is None:
             self.stats.give_ups += 1
+            span.finish(end=at_time, delivered=False, attempts=1)
             return BatchSendOutcome(
                 completed=[], attempts=1, ack_time=at_time, delivered=False
             )
@@ -205,9 +232,18 @@ class NaiveChannel(Channel):
             completed = self.agent.submit_batch(flow_mods, at_time=at_time + delay)
         except AgentDownError:
             self.stats.give_ups += 1
+            span.finish(end=at_time, delivered=False, attempts=1)
             return BatchSendOutcome(
                 completed=[], attempts=1, ack_time=at_time, delivered=False
             )
+        except BaseException:
+            span.finish(end=at_time, error=True)
+            raise
+        span.finish(
+            end=max((action.finish_time for action in completed), default=at_time),
+            delivered=True,
+            attempts=1,
+        )
         return BatchSendOutcome(completed=completed, attempts=1, ack_time=None)
 
 
@@ -235,16 +271,23 @@ class ResilientChannel(Channel):
         config: Optional[ChannelConfig] = None,
         rng: Optional[np.random.Generator] = None,
         on_breaker_open: Optional[Callable[[float], None]] = None,
+        tracer=None,
     ) -> None:
         self.agent = agent
         self.injector = injector
         self.config = config if config is not None else ChannelConfig()
         self.rng = rng if rng is not None else injector.child_rng(f"channel:{agent.name}")
         self.on_breaker_open = on_breaker_open
+        self._tracer = tracer
         self.stats = ChannelStats()
         self._xids = itertools.count(1)
         self._consecutive_timeouts = 0
         self._open_until: Optional[float] = None
+
+    @property
+    def tracer(self):
+        """The injected tracer, or the process-global one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # ------------------------------------------------------------------
     # Breaker
@@ -292,10 +335,19 @@ class ResilientChannel(Channel):
             )
         xid = next(self._xids)
         stamped = replace(flow_mod, xid=xid)
-        outcome = self._attempt_loop(
-            at_time, xid, lambda arrival: self.agent.submit(stamped, at_time=arrival)
+        span = self.tracer.start_span(
+            "flowmod", start=at_time, category="channel",
+            switch=self.agent.name, kind="single", xid=xid,
         )
+        try:
+            outcome = self._attempt_loop(
+                at_time, xid, lambda arrival: self.agent.submit(stamped, at_time=arrival)
+            )
+        except BaseException:
+            span.finish(end=at_time, error=True)
+            raise
         applied, attempts, done_time, delivered = outcome
+        span.finish(end=done_time, delivered=delivered, attempts=attempts)
         return SendOutcome(
             completed=applied,
             attempts=attempts,
@@ -315,10 +367,19 @@ class ResilientChannel(Channel):
             )
         xid = next(self._xids)
         stamped = [replace(flow_mod, xid=xid) for flow_mod in flow_mods]
-        outcome = self._attempt_loop(
-            at_time, xid, lambda arrival: self.agent.submit_batch(stamped, at_time=arrival)
+        span = self.tracer.start_span(
+            "flowmod", start=at_time, category="channel",
+            switch=self.agent.name, kind="batch", size=len(flow_mods), xid=xid,
         )
+        try:
+            outcome = self._attempt_loop(
+                at_time, xid, lambda arrival: self.agent.submit_batch(stamped, at_time=arrival)
+            )
+        except BaseException:
+            span.finish(end=at_time, error=True)
+            raise
         applied, attempts, done_time, delivered = outcome
+        span.finish(end=done_time, delivered=delivered, attempts=attempts)
         return BatchSendOutcome(
             completed=applied if applied is not None else [],
             attempts=attempts,
@@ -362,6 +423,11 @@ class ResilientChannel(Channel):
                     lost = True  # applied, but the controller never hears
             # Timeout path.
             self.stats.timeouts += 1
+            self.tracer.event(
+                "channel.timeout", time=now + self.config.timeout,
+                category="channel", switch=self.agent.name, xid=xid,
+                attempt=attempts,
+            )
             self._consecutive_timeouts += 1
             if self._consecutive_timeouts >= self.config.breaker_threshold:
                 self._trip_breaker(now + self.config.timeout)

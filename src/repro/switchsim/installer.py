@@ -60,6 +60,25 @@ class RuleInstaller(abc.ABC):
         """
         return {}
 
+    def shift_count(self) -> int:
+        """Cumulative physical entry shifts performed by this installer.
+
+        The tracing seam: the agent reads it before and after each action
+        and attributes the delta to that action's span.  Pure read — no
+        side effects, so calling it never perturbs a run.  Installers that
+        do not track shifts return 0.
+        """
+        return 0
+
+    def gauges(self) -> Dict[str, float]:
+        """Named gauge readings for tracing (pure reads, may be empty).
+
+        The agent samples these after each action under its own switch
+        name, so the tracer's on-change dedup runs per switch.  Hermes
+        exposes shadow/main occupancy and its token-bucket level.
+        """
+        return {}
+
     def prefill(self, rules: Iterable[Rule]) -> None:
         """Pre-install background rules before measurement starts.
 
@@ -179,3 +198,7 @@ class DirectInstaller(RuleInstaller):
     def tables(self) -> Dict[str, List[Rule]]:
         """The single physical table."""
         return {"monolithic": self.table.rules()}
+
+    def shift_count(self) -> int:
+        """Cumulative entry shifts of the monolithic table."""
+        return self.table.stats.total_shifts

@@ -41,3 +41,8 @@ def walk(switches):
 def due(now, deadline):
     """float-eq: exact equality between computed timestamps."""
     return now == deadline
+
+
+def trace(tracer):
+    """tracer-wall-clock: trace timestamps must come from sim time."""
+    tracer.event("boot", time=time.time())

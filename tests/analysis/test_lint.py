@@ -7,6 +7,7 @@ import textwrap
 from repro.analysis.lint import (
     BARE_PRAGMA,
     FLOAT_EQ,
+    TRACER_WALL_CLOCK,
     UNORDERED_ITERATION,
     UNSEEDED_RANDOM,
     WALL_CLOCK,
@@ -126,6 +127,47 @@ class TestFloatEq:
         assert check("if count == total:\n    pass\n") == []
 
 
+class TestTracerWallClock:
+    def test_tracer_event_with_wall_clock_flagged(self):
+        findings = check(
+            "import time\ntracer.event('boot', time=time.time())\n"
+        )
+        assert TRACER_WALL_CLOCK in rules_of(findings)
+
+    def test_get_tracer_chain_flagged(self):
+        findings = check(
+            "import time\nget_tracer().start_span('x', start=time.monotonic())\n"
+        )
+        assert TRACER_WALL_CLOCK in rules_of(findings)
+
+    def test_span_finish_with_wall_clock_flagged(self):
+        findings = check("import time\nspan.finish(end=time.perf_counter())\n")
+        assert TRACER_WALL_CLOCK in rules_of(findings)
+
+    def test_self_tracer_attribute_flagged(self):
+        findings = check(
+            "import time\nself._tracer.sample('occ', time=time.time(), value=1)\n"
+        )
+        assert TRACER_WALL_CLOCK in rules_of(findings)
+
+    def test_sim_time_is_clean(self):
+        findings = check("tracer.event('boot', time=self.now)\n")
+        assert TRACER_WALL_CLOCK not in rules_of(findings)
+
+    def test_non_tracer_receiver_is_only_plain_wall_clock(self):
+        findings = check("import time\nlogger.event('x', time=time.time())\n")
+        assert rules_of(findings) == [WALL_CLOCK]
+
+    def test_pragma_suppresses(self):
+        findings = check(
+            """\
+            import time
+            tracer.event('boot', time=time.time())  # det: allow(tracer-wall-clock, wall-clock) -- test harness stamps real time
+            """
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_same_line_pragma_suppresses(self):
         code = (
@@ -179,9 +221,12 @@ class TestFixtureAndSources:
             WALL_CLOCK,
             UNORDERED_ITERATION,
             FLOAT_EQ,
+            TRACER_WALL_CLOCK,
         }
-        # wall-clock fires twice: time.time() and datetime.now().
-        assert rules_of(findings).count(WALL_CLOCK) == 2
+        # wall-clock fires three times: time.time(), datetime.now(), and
+        # the time.time() inside the tracer call (which also trips the
+        # tracer-specific rule).
+        assert rules_of(findings).count(WALL_CLOCK) == 3
 
     def test_findings_are_line_ordered_and_printable(self):
         findings = lint_file(FIXTURE)

@@ -1,0 +1,73 @@
+"""Tests for ``python -m repro.obs``: scenario export and trace round-trip."""
+
+import os
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def scenario_dir(tmp_path_factory):
+    """One small traced scenario, exported in all three formats."""
+    out_dir = tmp_path_factory.mktemp("obs-scenario")
+    code = main(
+        [
+            "scenario",
+            "--out-dir", str(out_dir),
+            "--jobs", "3",
+            "--max-time", "2.0",
+            "--drop", "0.1",
+        ]
+    )
+    assert code == 0
+    return out_dir
+
+
+class TestScenario:
+    def test_exports_all_three_formats(self, scenario_dir):
+        for name in ("trace.jsonl", "trace.chrome.json", "metrics.prom"):
+            path = os.path.join(str(scenario_dir), name)
+            assert os.path.exists(path)
+            assert os.path.getsize(path) > 0
+
+    def test_chrome_export_is_valid_json(self, scenario_dir):
+        import json
+
+        with open(os.path.join(str(scenario_dir), "trace.chrome.json")) as handle:
+            payload = json.load(handle)
+        assert payload["traceEvents"]
+
+    def test_prometheus_export_has_core_series(self, scenario_dir):
+        with open(os.path.join(str(scenario_dir), "metrics.prom")) as handle:
+            text = handle.read()
+        assert "hermes_agent_actions_total" in text
+        assert "hermes_rit_seconds_bucket" in text
+
+
+class TestSummaryCli:
+    def test_summary_round_trips_the_trace(self, scenario_dir, capsys):
+        trace = os.path.join(str(scenario_dir), "trace.jsonl")
+        assert main(["summary", trace, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "hermes-trace/1" in out
+        for stage in ("gatekeeper", "queue", "tcam", "channel"):
+            assert stage in out
+        assert "installed FlowMods" in out
+
+    def test_per_flowmod_listing(self, scenario_dir, capsys):
+        trace = os.path.join(str(scenario_dir), "trace.jsonl")
+        assert main(["summary", trace, "--per-flowmod"]) == 0
+        assert "per-FlowMod breakdown" in capsys.readouterr().out
+
+    def test_diff_of_trace_with_itself(self, scenario_dir, capsys):
+        trace = os.path.join(str(scenario_dir), "trace.jsonl")
+        assert main(["diff", trace, trace]) == 0
+        out = capsys.readouterr().out
+        assert "installed FlowMods" in out
+
+    def test_summary_rejects_non_trace_file(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.jsonl"
+        bogus.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            main(["summary", str(bogus)])

@@ -1,0 +1,163 @@
+"""Tests for the exporters and the trace summarizer.
+
+One synthetic trace, built through the real RecordingTracer, exercises the
+whole read side: JSONL round-trip, Chrome conversion, per-stage breakdown
+arithmetic, and the rendered reports.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace,
+    parse_trace_lines,
+    read_trace,
+    trace_lines,
+    write_trace,
+)
+from repro.obs.summary import (
+    flowmod_breakdowns,
+    percentile,
+    render_diff,
+    render_summary,
+    summarize,
+)
+from repro.obs.tracer import TRACE_FORMAT, RecordingTracer
+
+
+def build_trace() -> RecordingTracer:
+    """One FlowMod through a channel, plus gauges: known stage values.
+
+    flowmod span: 0.000 -> 0.005 (5 ms), action window 0.002 -> 0.004
+    (2 ms) => channel = 3 ms.  queue_delay = 1 ms, exec_latency = 2 ms,
+    gatekeeper latency = 0.2 ms => tcam = 1.8 ms.
+    """
+    tracer = RecordingTracer(meta={"scenario": "unit"})
+    flowmod = tracer.start_span(
+        "flowmod", start=0.0, category="channel", kind="single", switch="s1"
+    )
+    action = tracer.start_span(
+        "agent.action", start=0.002, category="agent", switch="s1", command="add"
+    )
+    tracer.event(
+        "hermes.gatekeeper", time=0.002, category="hermes",
+        reason="admitted", use_shadow=True, latency=0.0002,
+    )
+    action.finish(end=0.004, queue_delay=0.001, exec_latency=0.002, shifts=3)
+    flowmod.finish(end=0.005, delivered=True, attempts=2)
+    tracer.sample("shadow.occupancy", time=0.004, value=10.0, switch="s1")
+    tracer.sample("shadow.occupancy", time=0.005, value=12.0, switch="s1")
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = build_trace()
+        header, records = parse_trace_lines(trace_lines(tracer))
+        assert header["format"] == TRACE_FORMAT
+        assert header["meta"] == {"scenario": "unit"}
+        assert header["records"] == len(records) == len(tracer.records)
+        assert records == json.loads(json.dumps(tracer.records))
+
+    def test_file_round_trip(self, tmp_path):
+        tracer = build_trace()
+        path = tmp_path / "trace.jsonl"
+        write_trace(tracer, str(path))
+        header, records = read_trace(str(path))
+        assert header["records"] == len(records)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="empty trace"):
+            parse_trace_lines([])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format tag"):
+            parse_trace_lines(['{"format": "other/9"}'])
+
+    def test_malformed_record_rejected(self):
+        lines = trace_lines(build_trace())[:1] + ['{"no": "type"}']
+        with pytest.raises(ValueError, match="line 2"):
+            parse_trace_lines(lines)
+
+
+class TestChromeTrace:
+    def test_record_kinds_map_to_phases(self):
+        payload = chrome_trace(build_trace().records, meta={"x": 1})
+        phases = [event["ph"] for event in payload["traceEvents"]]
+        assert "X" in phases and "i" in phases and "C" in phases
+        assert payload["otherData"] == {"x": 1}
+
+    def test_switch_records_get_their_own_thread(self):
+        payload = chrome_trace(build_trace().records)
+        threads = {
+            event["args"]["name"]
+            for event in payload["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert threads == {"controller", "s1"}
+
+    def test_span_durations_in_microseconds(self):
+        payload = chrome_trace(build_trace().records)
+        flowmod = next(
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "flowmod"
+        )
+        assert flowmod["dur"] == pytest.approx(5000.0)
+
+
+class TestBreakdowns:
+    def test_stage_attribution(self):
+        breakdowns = flowmod_breakdowns(build_trace().records)
+        assert len(breakdowns) == 1
+        item = breakdowns[0]
+        assert item.gatekeeper == pytest.approx(0.0002)
+        assert item.queue == pytest.approx(0.001)
+        assert item.tcam == pytest.approx(0.0018)
+        assert item.channel == pytest.approx(0.003)
+        assert item.attempts == 2
+        assert item.shifts == 3
+        assert item.switch == "s1"
+
+    def test_direct_submit_has_zero_channel(self):
+        tracer = RecordingTracer()
+        tracer.start_span(
+            "agent.action", start=0.0, switch="s1", command="add"
+        ).finish(end=0.002, queue_delay=0.0, exec_latency=0.002)
+        breakdowns = flowmod_breakdowns(tracer.records)
+        assert len(breakdowns) == 1
+        assert breakdowns[0].channel == 0.0
+
+    def test_undelivered_flowmods_excluded(self):
+        tracer = RecordingTracer()
+        tracer.start_span("flowmod", start=0.0, switch="s1").finish(
+            end=0.001, delivered=False, attempts=1
+        )
+        assert flowmod_breakdowns(tracer.records) == []
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile([], 50) == 0.0
+
+
+class TestRendering:
+    def test_summary_report_contains_stages_and_gauges(self):
+        tracer = build_trace()
+        summary = summarize({"format": TRACE_FORMAT, "meta": tracer.meta},
+                            tracer.records)
+        rendered = render_summary(summary, top=3, per_flowmod=True)
+        for stage in ("gatekeeper", "queue", "tcam", "channel", "total"):
+            assert stage in rendered
+        assert "shadow.occupancy[switch=s1]" in rendered
+        assert "hermes.gatekeeper" in rendered
+
+    def test_diff_report_runs(self):
+        tracer = build_trace()
+        summary = summarize({"format": TRACE_FORMAT}, tracer.records)
+        rendered = render_diff(summary, summary, "a.jsonl", "b.jsonl")
+        assert "Δp50" in rendered or "p50" in rendered
+        assert "a.jsonl" in rendered and "b.jsonl" in rendered

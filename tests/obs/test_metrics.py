@@ -1,0 +1,120 @@
+"""Tests for the metrics registry: counters, gauges, histograms, exports."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value() == 3
+        assert counter.total() == 3
+
+    def test_labelled_series_are_independent(self):
+        counter = Counter("actions_total")
+        counter.inc(command="add")
+        counter.inc(command="add")
+        counter.inc(command="delete")
+        assert counter.value(command="add") == 2
+        assert counter.value(command="delete") == 1
+        assert counter.value(command="modify") == 0
+        assert counter.total() == 3
+
+    def test_negative_increment_raises(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_prometheus_lines_sorted(self):
+        counter = Counter("c_total", help="help text")
+        counter.inc(kind="b")
+        counter.inc(kind="a")
+        lines = counter.prometheus_lines()
+        assert lines[0] == "# HELP c_total help text"
+        assert lines[1] == "# TYPE c_total counter"
+        assert lines.index('c_total{kind="a"} 1') < lines.index('c_total{kind="b"} 1')
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("occupancy")
+        gauge.set(10)
+        gauge.set(7)
+        assert gauge.value() == 7
+
+    def test_gauge_may_decrease_via_inc(self):
+        gauge = Gauge("tokens")
+        gauge.inc(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            hist.observe(value)
+        counts = dict(hist.bucket_counts())
+        assert counts[0.1] == 1
+        assert counts[1.0] == 2  # cumulative
+        assert counts[float("inf")] == 3
+
+    def test_non_ascending_buckets_raise(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+
+    def test_quantile_is_deterministic(self):
+        hist = Histogram("lat", buckets=DEFAULT_LATENCY_BUCKETS)
+        for value in (0.0002, 0.0002, 0.002, 0.02):
+            hist.observe(value)
+        assert hist.quantile(0.5) <= hist.quantile(0.99)
+
+    def test_prometheus_has_inf_bucket_and_sum(self):
+        hist = Histogram("lat", buckets=(0.1,))
+        hist.observe(0.05)
+        rendered = "\n".join(hist.prometheus_lines())
+        assert 'lat_bucket{le="+Inf"} 1' in rendered
+        assert "lat_sum" in rendered and "lat_count 1" in rendered
+
+    def test_as_dict_handles_inf_boundary(self):
+        hist = Histogram("lat", buckets=(0.1,))
+        hist.observe(0.5)
+        assert hist.as_dict()  # must not raise on the +Inf boundary
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_prometheus_text_is_insertion_order_independent(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("b_total").inc()
+        first.gauge("a_gauge").set(2)
+        second.gauge("a_gauge").set(2)
+        second.counter("b_total").inc()
+        assert first.prometheus_text() == second.prometheus_text()
+
+    def test_as_dict_round_trips_through_json(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c").inc(kind="x")
+        registry.histogram("h", buckets=(0.1,)).observe(1.0)
+        assert json.loads(json.dumps(registry.as_dict())) == json.loads(
+            json.dumps(registry.as_dict())
+        )
