@@ -8,10 +8,28 @@ invariant over table snapshots, and the determinism lint keeps
 nondeterminism hazards out of the simulation paths.
 """
 
-from .lint import LintFinding, format_findings, lint_file, lint_paths, lint_source
+from .ap import (
+    AtomIndex,
+    IncrementalPairChecker,
+    attach_incremental_checker,
+    build_universe,
+    engines_agree,
+    violation_fingerprint,
+)
+from .lint import (
+    LintFinding,
+    apply_fixes,
+    fix_paths,
+    format_findings,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 from .replication import SeedSweep, replicate, replicate_many
 from .snapshot import (
+    SnapshotDelta,
     TableSnapshot,
+    diff_snapshots,
     dump_snapshot,
     load_snapshot,
     read_snapshot,
@@ -27,6 +45,7 @@ from .stats import (
 )
 from .tables import ExperimentResult, format_cell, render_table
 from .verifier import (
+    ENGINES,
     find_duplicate_entries,
     find_priority_inversions,
     find_shadowed_rules,
@@ -40,18 +59,28 @@ from .verifier import (
 from .violations import Violation
 
 __all__ = [
+    "ENGINES",
+    "AtomIndex",
     "ExperimentResult",
+    "IncrementalPairChecker",
     "LintFinding",
     "SeedSweep",
+    "SnapshotDelta",
     "TableSnapshot",
     "Violation",
+    "apply_fixes",
+    "attach_incremental_checker",
+    "build_universe",
     "cdf_at",
+    "diff_snapshots",
     "dump_snapshot",
     "empirical_cdf",
+    "engines_agree",
     "find_duplicate_entries",
     "find_priority_inversions",
     "find_shadowed_rules",
     "find_unreachable_rules",
+    "fix_paths",
     "format_cell",
     "format_findings",
     "increase_ratios",
@@ -72,4 +101,5 @@ __all__ = [
     "verify_installer",
     "verify_moveplan",
     "verify_partition",
+    "violation_fingerprint",
 ]

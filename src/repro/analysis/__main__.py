@@ -2,15 +2,26 @@
 
 Three subcommands::
 
-    python -m repro.analysis verify SNAPSHOT.json   # check a table snapshot
-    python -m repro.analysis lint [PATH ...]        # determinism lint
-    python -m repro.analysis scenario [--out F]     # canned churn + verify
+    python -m repro.analysis verify SNAPSHOT.json     # check a table snapshot
+    python -m repro.analysis verify OLD.json NEW.json # localize a corruption
+    python -m repro.analysis lint [--fix] [PATH ...]  # determinism lint
+    python -m repro.analysis scenario [--out F]       # canned churn + verify
+
+``verify`` and ``scenario`` accept ``--engine {ap,symbolic}`` (default
+``ap``, the atomic-predicate engine) and ``--cross-check``, which runs
+*both* engines and fails with exit 2 if their findings disagree — the
+differential harness for the engines themselves.  With two snapshot
+arguments, ``verify`` treats them as captures of the *same* switch at two
+instants: it verifies both, diffs them by rule id, and when the later one
+is corrupt but the earlier clean, names the changed rules implicated in
+the corruption.
 
 ``scenario`` drives a deterministic insert/delete churn through a real
 :class:`HermesInstaller` (with live migrations) and a monolithic reference
 table, snapshots both, and verifies the snapshot — the zero-setup way to
 see the verifier pass, and, with ``--corrupt``, to see each checker catch a
-seeded corruption.  Exit status: 0 clean, 1 violations/findings, 2 usage.
+seeded corruption.  Exit status: 0 clean, 1 violations/findings, 2 usage
+or engine disagreement.
 """
 
 from __future__ import annotations
@@ -22,14 +33,16 @@ from typing import List, Optional
 
 import numpy as np
 
-from .lint import format_findings, lint_paths
+from .ap import violation_fingerprint
+from .lint import fix_paths, format_findings, lint_paths
 from .snapshot import (
+    diff_snapshots,
     dump_snapshot,
     load_snapshot,
     read_snapshot,
     snapshot_tables,
 )
-from .verifier import verify_partition
+from .verifier import ENGINES, verify_partition
 
 CORRUPTIONS = ("swap-priority", "drop-rule", "duplicate")
 
@@ -134,6 +147,89 @@ def _report(violations, stream=sys.stdout) -> int:
     return 1 if errors else 0
 
 
+def _verify_tables(snapshot, include_warnings: bool, engine: str, cross_check: bool):
+    """Verify one snapshot; returns ``(violations, engines_disagree)``."""
+    violations = verify_partition(
+        snapshot.shadow,
+        snapshot.main,
+        reference=snapshot.reference,
+        include_warnings=include_warnings,
+        engine=engine,
+    )
+    if not cross_check:
+        return violations, False
+    other_engine = "symbolic" if engine == "ap" else "ap"
+    other = verify_partition(
+        snapshot.shadow,
+        snapshot.main,
+        reference=snapshot.reference,
+        include_warnings=include_warnings,
+        engine=other_engine,
+    )
+    mine, theirs = violation_fingerprint(violations), violation_fingerprint(other)
+    if mine != theirs:
+        print(
+            f"engine disagreement: {engine} found {mine} "
+            f"but {other_engine} found {theirs}",
+            file=sys.stderr,
+        )
+        return violations, True
+    print(
+        f"cross-check: {engine} and {other_engine} agree "
+        f"on {len(violations)} finding(s)"
+    )
+    return violations, False
+
+
+def _verify_over_time(
+    paths, snapshots, include_warnings: bool, engine: str, cross_check: bool
+) -> int:
+    """Two captures of the same switch: verify both, localize the break."""
+    results = []
+    for path, snapshot in zip(paths, snapshots):
+        violations, disagree = _verify_tables(
+            snapshot, include_warnings, engine, cross_check
+        )
+        if disagree:
+            return 2
+        errors = [violation for violation in violations if violation.is_error]
+        results.append((path, violations, errors))
+    delta = diff_snapshots(snapshots[0], snapshots[1])
+    print(
+        f"delta {paths[0]} -> {paths[1]}: "
+        f"{len(delta.added)} added, {len(delta.removed)} removed, "
+        f"{len(delta.moved)} moved, {len(delta.modified)} modified"
+    )
+    (older_path, older_violations, older_errors) = results[0]
+    (newer_path, newer_violations, newer_errors) = results[1]
+    if older_errors:
+        print(f"corruption already present in {older_path}:")
+        _report(older_violations)
+        return 1
+    print(f"{older_path}: clean")
+    if not newer_errors:
+        _report(newer_violations)
+        print("no corruption in either capture; the delta is legitimate churn")
+        return 0
+    implicated = sorted(
+        delta.changed_ids
+        & {rule_id for violation in newer_errors for rule_id in violation.rule_ids}
+    )
+    print(f"corruption introduced between {older_path} and {newer_path}:")
+    _report(newer_violations)
+    if implicated:
+        print(
+            "implicated by the delta: "
+            + ", ".join(f"rule #{rule_id}" for rule_id in implicated)
+        )
+    else:
+        print(
+            "no changed rule is directly implicated; the delta likely "
+            "removed or moved an entry the survivors depended on"
+        )
+    return 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -143,13 +239,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     verify_cmd = commands.add_parser(
-        "verify", help="verify a serialized table snapshot"
+        "verify", help="verify one snapshot, or localize a break between two"
     )
-    verify_cmd.add_argument("snapshot", help="path to a snapshot JSON file")
+    verify_cmd.add_argument(
+        "snapshots",
+        nargs="+",
+        metavar="SNAPSHOT",
+        help=(
+            "one snapshot JSON file to verify, or two captures of the "
+            "same switch (EARLIER LATER) to diff and localize"
+        ),
+    )
     verify_cmd.add_argument(
         "--include-warnings",
         action="store_true",
         help="also run the unreachable/shadowed-rule analyses",
+    )
+    verify_cmd.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="ap",
+        help="decision procedure (default: ap, the atomic-predicate engine)",
+    )
+    verify_cmd.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="run both engines and exit 2 if their findings disagree",
     )
 
     lint_cmd = commands.add_parser(
@@ -160,6 +275,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         nargs="*",
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
+    )
+    lint_cmd.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite provably-safe findings by inserting sorted(...)",
     )
 
     scenario_cmd = commands.add_parser(
@@ -177,10 +297,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="seed a deliberate corruption before verifying (must fail)",
     )
+    scenario_cmd.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="ap",
+        help="decision procedure (default: ap, the atomic-predicate engine)",
+    )
+    scenario_cmd.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="run both engines and exit 2 if their findings disagree",
+    )
 
     args = parser.parse_args(argv)
 
     if args.command == "lint":
+        if args.fix:
+            fixed = [(path, count) for path, count in fix_paths(args.paths) if count]
+            for path, count in fixed:
+                print(f"{path}: {count} fix(es) applied")
+            print(f"{sum(count for _, count in fixed)} fix(es) in total")
         findings = lint_paths(args.paths)
         if findings:
             print(format_findings(findings))
@@ -188,17 +324,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1 if findings else 0
 
     if args.command == "verify":
-        try:
-            snapshot = read_snapshot(args.snapshot)
-        except (OSError, ValueError, json.JSONDecodeError) as error:
-            print(f"cannot load {args.snapshot}: {error}", file=sys.stderr)
+        if len(args.snapshots) > 2:
+            print(
+                f"verify takes one or two snapshots, got {len(args.snapshots)}",
+                file=sys.stderr,
+            )
             return 2
-        violations = verify_partition(
-            snapshot.shadow,
-            snapshot.main,
-            reference=snapshot.reference,
-            include_warnings=args.include_warnings,
+        snapshots = []
+        for path in args.snapshots:
+            try:
+                snapshots.append(read_snapshot(path))
+            except (OSError, ValueError, json.JSONDecodeError) as error:
+                print(f"cannot load {path}: {error}", file=sys.stderr)
+                return 2
+        if len(snapshots) == 2:
+            return _verify_over_time(
+                args.snapshots,
+                snapshots,
+                args.include_warnings,
+                args.engine,
+                args.cross_check,
+            )
+        violations, disagree = _verify_tables(
+            snapshots[0], args.include_warnings, args.engine, args.cross_check
         )
+        if disagree:
+            return 2
         return _report(violations)
 
     # scenario
@@ -215,9 +366,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"reference={len(snapshot.reference or [])} rules"
         + (f" (corrupted: {args.corrupt})" if args.corrupt else "")
     )
-    violations = verify_partition(
-        snapshot.shadow, snapshot.main, reference=snapshot.reference
+    violations, disagree = _verify_tables(
+        snapshot, include_warnings=False, engine=args.engine,
+        cross_check=args.cross_check,
     )
+    if disagree:
+        return 2
     return _report(violations)
 
 

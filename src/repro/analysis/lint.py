@@ -24,7 +24,22 @@ Rules
     ``list``/``tuple``/``enumerate``/``iter``/``sum`` — where hash order
     can reach event scheduling.  Order-insensitive sinks (``sorted``,
     ``min``, ``max``, ``len``, ``any``, ``all``, set-to-set operations)
-    are allowed.
+    are allowed.  The same rule also covers environment/filesystem
+    iteration order: ``os.environ`` (and its ``.keys()``/``.values()``/
+    ``.items()`` views), ``os.listdir()``, ``os.scandir()``, and
+    ``Path.iterdir()`` all follow OS-dependent order, which two machines
+    (or two runs) need not agree on.
+
+Autofix
+-------
+:func:`apply_fixes` / :func:`fix_paths` (CLI: ``python -m repro.analysis
+lint --fix``) rewrite *provably safe* unordered-iteration findings by
+wrapping the iterable in ``sorted(...)``.  Safe means the elements are
+known to be totally ordered: ``os.environ`` and its views (strings or
+string pairs), ``os.listdir()`` (strings), and ``Path.iterdir()``
+(``Path`` objects).  ``os.scandir()`` yields unorderable ``DirEntry``
+objects and set expressions have unknown element types, so those findings
+are reported but never rewritten.
 ``float-eq``
     ``==`` / ``!=`` between values that look like event timestamps
     (``now``, ``deadline``, ``*_time``, ``*_until``, ...).  Computed floats
@@ -57,7 +72,7 @@ import ast
 import os
 import re
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 UNSEEDED_RANDOM = "unseeded-random"
 WALL_CLOCK = "wall-clock"
@@ -143,6 +158,9 @@ class LintFinding:
         col: 0-based column offset.
         message: what was found and why it is a hazard.
         text: the source line, stripped.
+        fixable: True when the autofix can provably-safely rewrite it.
+        span: ``(line, col, end_line, end_col)`` of the expression the
+            autofix would wrap in ``sorted(...)`` (fixable findings only).
     """
 
     rule: str
@@ -151,6 +169,8 @@ class LintFinding:
     col: int
     message: str
     text: str = ""
+    fixable: bool = False
+    span: Optional[Tuple[int, int, int, int]] = None
 
     def __str__(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
@@ -210,18 +230,31 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
+#: OS-iteration sources: name -> (description, autofix is provably safe).
+_UNORDERED_FS_FUNCS = {"listdir": True, "scandir": False}
+_ENVIRON_VIEWS = {"keys", "values", "items"}
+
+
 class _DeterminismVisitor(ast.NodeVisitor):
     def __init__(self, path: str, lines: Sequence[str]) -> None:
         self.path = path
         self.lines = lines
         self.findings: List[LintFinding] = []
         self._random_imports: Set[str] = set()
+        self._os_imports: Dict[str, str] = {}  # local alias -> os.* name
         self._exempt_nodes: Set[int] = set()
 
     # -- helpers ------------------------------------------------------
-    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+    def _flag(
+        self, node: ast.AST, rule: str, message: str, fixable: bool = False
+    ) -> None:
         line = getattr(node, "lineno", 0)
         text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        span = None
+        end_line = getattr(node, "end_lineno", None)
+        end_col = getattr(node, "end_col_offset", None)
+        if fixable and end_line == line and end_col is not None:
+            span = (line, node.col_offset, end_line, end_col)
         self.findings.append(
             LintFinding(
                 rule=rule,
@@ -230,14 +263,48 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 col=getattr(node, "col_offset", 0),
                 message=message,
                 text=text,
+                fixable=span is not None,
+                span=span,
             )
         )
+
+    def _is_environ(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr == "environ" and _root_name(node) == "os"
+        if isinstance(node, ast.Name):
+            return self._os_imports.get(node.id) == "environ"
+        return False
+
+    def _unordered_source(self, node: ast.AST) -> Optional[Tuple[str, bool]]:
+        """``(description, fix_is_safe)`` for OS-order iterables, else None."""
+        if self._is_environ(node):
+            return "os.environ", True
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _ENVIRON_VIEWS and self._is_environ(func.value):
+                # environ maps str -> str, so every view sorts safely.
+                return f"os.environ.{func.attr}()", True
+            if func.attr in _UNORDERED_FS_FUNCS and _root_name(func) == "os":
+                return f"os.{func.attr}()", _UNORDERED_FS_FUNCS[func.attr]
+            if func.attr == "iterdir":
+                return "Path.iterdir()", True
+        elif isinstance(func, ast.Name):
+            original = self._os_imports.get(func.id)
+            if original in _UNORDERED_FS_FUNCS:
+                return f"os.{original}()", _UNORDERED_FS_FUNCS[original]
+        return None
 
     # -- imports ------------------------------------------------------
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random":
             for alias in node.names:
                 self._random_imports.add(alias.asname or alias.name)
+        if node.module == "os":
+            for alias in node.names:
+                if alias.name in {"environ", "listdir", "scandir"}:
+                    self._os_imports[alias.asname or alias.name] = alias.name
         self.generic_visit(node)
 
     # -- calls --------------------------------------------------------
@@ -328,17 +395,29 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def _check_set_sink(self, node: ast.Call) -> None:
         func = node.func
         if (
-            isinstance(func, ast.Name)
-            and func.id in _ORDER_SENSITIVE_SINKS
-            and node.args
-            and _is_set_expr(node.args[0])
-            and id(node.args[0]) not in self._exempt_nodes
+            not isinstance(func, ast.Name)
+            or func.id not in _ORDER_SENSITIVE_SINKS
+            or not node.args
+            or id(node.args[0]) in self._exempt_nodes
         ):
+            return
+        if _is_set_expr(node.args[0]):
             self._flag(
                 node,
                 UNORDERED_ITERATION,
                 f"'{func.id}()' over a set materializes hash order; sort "
                 "first (sorted(...)) or use an ordered container",
+            )
+            return
+        source = self._unordered_source(node.args[0])
+        if source is not None:
+            description, fix_safe = source
+            self._flag(
+                node.args[0],
+                UNORDERED_ITERATION,
+                f"'{func.id}()' over {description} materializes "
+                "OS-dependent order; wrap it in sorted(...)",
+                fixable=fix_safe,
             )
 
     # -- iteration ----------------------------------------------------
@@ -350,22 +429,43 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 "for-loop over a set iterates in hash order; sort first "
                 "(sorted(...)) or use an ordered container",
             )
+        elif id(node.iter) not in self._exempt_nodes:
+            source = self._unordered_source(node.iter)
+            if source is not None:
+                description, fix_safe = source
+                self._flag(
+                    node.iter,
+                    UNORDERED_ITERATION,
+                    f"for-loop over {description} iterates in OS-dependent "
+                    "order; wrap it in sorted(...)",
+                    fixable=fix_safe,
+                )
         self.generic_visit(node)
 
     def _visit_comprehension(self, node) -> None:
         produces_set = isinstance(node, ast.SetComp)
         for generator in node.generators:
-            if (
-                not produces_set
-                and _is_set_expr(generator.iter)
-                and id(generator.iter) not in self._exempt_nodes
-                and id(node) not in self._exempt_nodes
-            ):
+            if produces_set or id(generator.iter) in self._exempt_nodes:
+                continue
+            if id(node) in self._exempt_nodes:
+                continue
+            if _is_set_expr(generator.iter):
                 self._flag(
                     generator.iter,
                     UNORDERED_ITERATION,
                     "comprehension over a set inherits hash order; sort "
                     "first (sorted(...)) or produce a set",
+                )
+                continue
+            source = self._unordered_source(generator.iter)
+            if source is not None:
+                description, fix_safe = source
+                self._flag(
+                    generator.iter,
+                    UNORDERED_ITERATION,
+                    f"comprehension over {description} inherits "
+                    "OS-dependent order; wrap it in sorted(...)",
+                    fixable=fix_safe,
                 )
         self.generic_visit(node)
 
@@ -474,6 +574,51 @@ def lint_paths(paths: Iterable[str]) -> List[LintFinding]:
     for path in iter_python_files(paths):
         findings.extend(lint_file(path))
     return findings
+
+
+def apply_fixes(source: str, findings: Sequence[LintFinding]) -> Tuple[str, int]:
+    """Rewrite fixable findings by wrapping their spans in ``sorted(...)``.
+
+    Only single-line spans from findings marked ``fixable`` are touched
+    (the visitor marks a finding fixable only when the iterable's elements
+    are provably sortable).  Returns the rewritten source and the number
+    of fixes applied; re-lint the result to see what remains.
+    """
+    lines = source.splitlines()
+    trailing_newline = source.endswith("\n")
+    spans = sorted(
+        {finding.span for finding in findings if finding.fixable and finding.span},
+        reverse=True,
+    )
+    applied = 0
+    for line, col, end_line, end_col in spans:
+        if line != end_line or not 0 < line <= len(lines):
+            continue
+        text = lines[line - 1]
+        lines[line - 1] = (
+            text[:col] + "sorted(" + text[col:end_col] + ")" + text[end_col:]
+        )
+        applied += 1
+    rebuilt = "\n".join(lines) + ("\n" if trailing_newline else "")
+    return rebuilt, applied
+
+
+def fix_paths(paths: Iterable[str]) -> List[Tuple[str, int]]:
+    """Autofix every ``.py`` file under the given files/directories.
+
+    Returns ``(path, fixes_applied)`` for each file examined; files with
+    zero applicable fixes are left untouched on disk.
+    """
+    results: List[Tuple[str, int]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        fixed, applied = apply_fixes(source, lint_source(source, path))
+        if applied:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(fixed)
+        results.append((path, applied))
+    return results
 
 
 def format_findings(findings: Sequence[LintFinding]) -> str:

@@ -123,6 +123,72 @@ def load_snapshot(data: dict) -> TableSnapshot:
     return TableSnapshot(tables=tables, reference=reference)
 
 
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """What changed between two captures of the *same* switch.
+
+    Rule ids are the join key (they are stable across tables and over
+    time); each id lands in exactly one bucket.  ``moved`` means the rule
+    is byte-identical but lives in a different slice (a migration);
+    ``modified`` means its match, priority, or action changed.
+    """
+
+    added: tuple = ()
+    removed: tuple = ()
+    moved: tuple = ()
+    modified: tuple = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.added or self.removed or self.moved or self.modified)
+
+    @property
+    def changed_ids(self) -> frozenset:
+        """Every rule id that differs between the captures."""
+        return frozenset(self.added + self.removed + self.moved + self.modified)
+
+    def to_dict(self) -> dict:
+        return {
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "moved": list(self.moved),
+            "modified": list(self.modified),
+        }
+
+
+def _index_by_id(snapshot: TableSnapshot) -> Dict[int, tuple]:
+    index: Dict[int, tuple] = {}
+    for name in ("shadow", "main"):
+        for rule in getattr(snapshot, name):
+            # First physical occurrence wins; duplicates are a verifier
+            # finding, not a diffing concern.
+            index.setdefault(rule.rule_id, (name, rule))
+    return index
+
+
+def diff_snapshots(older: TableSnapshot, newer: TableSnapshot) -> SnapshotDelta:
+    """Diff two captures of the same switch taken at different instants."""
+    before = _index_by_id(older)
+    after = _index_by_id(newer)
+    added = sorted(rule_id for rule_id in after if rule_id not in before)
+    removed = sorted(rule_id for rule_id in before if rule_id not in after)
+    moved: List[int] = []
+    modified: List[int] = []
+    for rule_id in sorted(before.keys() & after.keys()):
+        old_table, old_rule = before[rule_id]
+        new_table, new_rule = after[rule_id]
+        if old_rule != new_rule:
+            modified.append(rule_id)
+        elif old_table != new_table:
+            moved.append(rule_id)
+    return SnapshotDelta(
+        added=tuple(added),
+        removed=tuple(removed),
+        moved=tuple(moved),
+        modified=tuple(modified),
+    )
+
+
 def dump_snapshot(payload: dict, path: str) -> None:
     """Write a snapshot dict to ``path`` as indented JSON."""
     with open(path, "w", encoding="utf-8") as handle:

@@ -37,6 +37,11 @@ from .violations import (
 
 RuleSource = Sequence[Rule]
 
+#: Verification engines: ``"ap"`` (atomic predicates, the default — near
+#: linear on prefix tables) and ``"symbolic"`` (region decomposition via the
+#: ternary algebra — the original oracle, kept for cross-checks).
+ENGINES = ("ap", "symbolic")
+
 
 def _rules_of(table) -> List[Rule]:
     """Accept a TcamTable, an installer slice, or a plain rule sequence."""
@@ -321,6 +326,7 @@ def verify_partition(
     main: RuleSource,
     reference: Optional[RuleSource] = None,
     include_warnings: bool = False,
+    engine: str = "ap",
 ) -> List[Violation]:
     """Verify a shadow+main pair against the paper's correctness invariant.
 
@@ -329,10 +335,25 @@ def verify_partition(
     pair's lookup semantics against it.  ``include_warnings`` adds the
     per-table occlusion analyses (unreachable and shadowed rules).
 
+    ``engine`` selects the decision procedure: ``"ap"`` (default) runs the
+    atomic-predicate engine (:mod:`repro.analysis.ap`), ``"symbolic"`` the
+    original region-decomposition checkers.  Both are exact and report the
+    same violations; the AP engine is the one that scales to full-FIB
+    tables.
+
     Returns the violations found, errors first; an empty list means the
     pair provably behaves like one priority-ordered table (relative to the
     checks requested).
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}: expected one of {ENGINES}")
+    if engine == "ap":
+        # Imported lazily: ap imports this module's primitives.
+        from .ap import ap_verify_partition
+
+        return ap_verify_partition(
+            shadow, main, reference=reference, include_warnings=include_warnings
+        )
     violations = find_priority_inversions(shadow, main)
     violations += find_duplicate_entries(shadow, main)
     if reference is not None:
@@ -433,16 +454,20 @@ def verify_moveplan(
     return violations
 
 
-def verify_installer(installer, include_warnings: bool = False) -> List[Violation]:
+def verify_installer(
+    installer, include_warnings: bool = False, engine: str = "ap"
+) -> List[Violation]:
     """Verify any :class:`~repro.switchsim.installer.RuleInstaller`.
 
     Uses the installer's ``tables()`` introspection seam: two-slice schemes
     (Hermes) get the full pair verification, monolithic schemes get the
     duplicate check only (a single table cannot invert against itself).
+    ``engine`` selects the decision procedure, as in
+    :func:`verify_partition`.
     """
     tables = installer.tables()
     shadow = tables.get("shadow", ())
     main = tables.get("main", tables.get("monolithic", ()))
     return verify_partition(
-        shadow, main, include_warnings=include_warnings
+        shadow, main, include_warnings=include_warnings, engine=engine
     )

@@ -88,6 +88,9 @@ class HermesConfig:
         optimize_migration: enable the step-2 rule minimizer.
         shadow_capacity: explicit shadow size; None derives it from the
             guarantee and the switch's timing model.
+        verify_migrations: have the Rule Manager replay each migration's
+            placement plan through the moveplan verifier before writing
+            it; findings land in ``rule_manager.migration_violations``.
         partition_latency_budget: modelled software cost, per main-table
             rule examined, of Algorithm 1's overlap scan (Fig 15(b) shows
             the insertion-side algorithms are cheap; this keeps them so).
@@ -109,6 +112,7 @@ class HermesConfig:
     atomic_migration: bool = True
     optimize_migration: bool = True
     shadow_capacity: Optional[int] = None
+    verify_migrations: bool = False
     partition_latency_budget: float = 2e-7
     auto_tune: bool = False
     degraded_window: float = 1.0
@@ -223,6 +227,7 @@ class HermesInstaller(RuleInstaller):
             optimize=self.config.optimize_migration,
             atomic=self.config.atomic_migration,
             verify_writes=injector is not None,
+            verify_migrations=self.config.verify_migrations,
             fault_log=injector.log if injector is not None else None,
         )
         bucket = None

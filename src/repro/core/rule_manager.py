@@ -160,6 +160,7 @@ class RuleManager:
         optimizer_unit_cost: float = 2e-6,
         copy_unit_cost: float = 1e-7,
         verify_writes: bool = False,
+        verify_migrations: bool = False,
         fault_log=None,
     ) -> None:
         """Wire the manager to its tables.
@@ -180,6 +181,12 @@ class RuleManager:
                 re-issue lost ones — required under fault injection, where
                 a write can silently no-op and break the partition
                 invariant (a migrated rule the main table never received).
+            verify_migrations: run :func:`repro.analysis.verifier.
+                verify_moveplan` over each migration batch *before* it is
+                written, replaying every intermediate state of the planned
+                placement.  Findings accumulate in ``migration_violations``
+                and surface through the tracer; the migration proceeds
+                regardless (the checker is an observer, not a gate).
             fault_log: optional :class:`~repro.faults.log.FaultLog` to
                 record re-issues and permanently lost writes into.
         """
@@ -195,9 +202,12 @@ class RuleManager:
         self.optimizer_unit_cost = optimizer_unit_cost
         self.copy_unit_cost = copy_unit_cost
         self.verify_writes = verify_writes
+        self.verify_migrations = verify_migrations
         self.fault_log = fault_log
         self.reissued_writes = 0
         self.migrations: List[MigrationReport] = []
+        self.migration_violations: List = []
+        self.plans_verified = 0
         self._arrivals_this_epoch = 0
         self._epoch_start = 0.0
         self._stranded: List[Rule] = []
@@ -262,6 +272,8 @@ class RuleManager:
 
         optimized, merged_away, optimizer_time = self._optimize(shadow_rules)
         self._stranded = []
+        if self.verify_migrations:
+            self._verify_migration_plan(optimized, now)
         if self.atomic:
             # Steps 3 then 4: the shadow is emptied only after the main
             # table holds everything (migration-consistency, Section 5.2).
@@ -417,6 +429,50 @@ class RuleManager:
                 rule_id=rule.rule_id,
             )
         return latency
+
+    def _verify_migration_plan(self, optimized: List[Rule], now: float) -> None:
+        """Check the placement this migration is about to perform.
+
+        Mirrors the writer's own planning in :meth:`_write_to_main`: rules
+        dominating a resident entry take the online shifting path (they have
+        no zero-shift slot), refreshes of already-resident ids are handled
+        by the refresh protocol, and the remainder — capped at the main
+        table's free slots, exactly where the writer starts stranding — is
+        the planned batch.  That batch is replayed write-by-write over the
+        resident table so every intermediate lookup state is checked, not
+        just the final one.
+        """
+        # Imported lazily: repro.analysis' package __init__ pulls plotting
+        # and scipy helpers the migration path must not load unless a plan
+        # is actually being verified.
+        from ..analysis.verifier import verify_moveplan
+        from ..tcam.moveplan import plan_batch_placement
+
+        resident = self.main.rules()
+        conflicted_ids = {
+            rule.rule_id for rule in conflicts_with_resident(optimized, resident)
+        }
+        batch = [
+            rule
+            for rule in sorted(optimized, key=lambda r: -r.priority)
+            if rule.rule_id not in conflicted_ids and rule.rule_id not in self.main
+        ]
+        free = max(0, self.main.capacity - self.main.occupancy)
+        batch = batch[:free]
+        if not batch:
+            return
+        plan = plan_batch_placement(batch, resident, self.main.capacity)
+        violations = verify_moveplan(plan, resident, capacity=self.main.capacity)
+        self.plans_verified += 1
+        if violations:
+            self.migration_violations.extend(violations)
+            get_tracer().event(
+                "hermes.migration.plan-violation",
+                time=now,
+                category="hermes",
+                count=len(violations),
+                kinds=sorted({violation.kind for violation in violations}),
+            )
 
     def _insert_main(self, rule: Rule, planned: bool) -> Tuple[float, bool]:
         """One main-table write attempt; returns (latency, visibly_ok).

@@ -6,6 +6,13 @@ the tracer's listener stream instead: every Nth completed switch action it
 re-verifies the switch's installer and records the first sim-instant at
 which a violation exists.  The chaos harness attaches one per cell and
 reports the result through ``ExperimentResult.extras``.
+
+Checks default to the *incremental* atomic-predicate path
+(:class:`repro.analysis.ap.IncrementalPairChecker`): installers exposing
+``shadow``/``main`` tables with listener support get a live mirror updated
+per rule event, so each sampled check costs O(current findings) instead of
+re-verifying the whole pair.  Installers without that seam (monolithic
+schemes, bare snapshots) silently fall back to full verification.
 """
 
 from __future__ import annotations
@@ -22,9 +29,18 @@ class OnlineVerifier:
         installers: mapping of switch name to the installer to verify.
         every: verify a switch after this many of its completed actions
             (1 = after every action; higher values sample).
+        incremental: maintain per-installer incremental checkers where the
+            installer supports it (False forces full verification on every
+            sampled check — the pre-AP behavior, kept for differential
+            tests).
     """
 
-    def __init__(self, installers: Dict[str, object], every: int = 25) -> None:
+    def __init__(
+        self,
+        installers: Dict[str, object],
+        every: int = 25,
+        incremental: bool = True,
+    ) -> None:
         if every < 1:
             raise ValueError(f"every must be >= 1: {every}")
         self.installers = dict(installers)
@@ -33,6 +49,15 @@ class OnlineVerifier:
         self.violations_found = 0
         self.first_violation: Optional[dict] = None
         self._action_counts: Dict[str, int] = {}
+        self._checkers: Dict[str, object] = {}
+        if incremental:
+            # Imported lazily for the same reason as verify_installer below.
+            from ..analysis.ap import attach_incremental_checker
+
+            for name, installer in self.installers.items():
+                checker = attach_incremental_checker(installer)
+                if checker is not None:
+                    self._checkers[name] = checker
 
     def attach(self, tracer: RecordingTracer) -> "OnlineVerifier":
         """Subscribe to ``tracer``; returns self for chaining."""
@@ -51,12 +76,16 @@ class OnlineVerifier:
             self._check(switch, record["end"])
 
     def _check(self, switch: str, now: float) -> None:
-        # Imported lazily: the verifier lives in repro.analysis, whose
-        # package __init__ pulls plotting/scipy helpers this hot path
-        # must not load unless verification actually runs.
-        from ..analysis.verifier import verify_installer
+        checker = self._checkers.get(switch)
+        if checker is not None:
+            violations = checker.violations()
+        else:
+            # Imported lazily: the verifier lives in repro.analysis, whose
+            # package __init__ pulls plotting/scipy helpers this hot path
+            # must not load unless verification actually runs.
+            from ..analysis.verifier import verify_installer
 
-        violations = verify_installer(self.installers[switch])
+            violations = verify_installer(self.installers[switch])
         self.checks_run += 1
         if violations:
             self.violations_found += len(violations)

@@ -1,0 +1,138 @@
+"""Verifier-guided fuzzing of the Hermes installer.
+
+A hypothesis state machine drives a :class:`HermesInstaller` with random
+FlowMod sequences (adds, deletes, action modifies, forced migrations) and
+runs the ruleset verifier after *every* step: any reachable sequence of
+control-plane operations that breaks the shadow+main ≡ monolithic
+invariant — even transiently — is a bug, and hypothesis shrinks it to a
+minimal reproduction.  A :class:`DirectInstaller` executes the same
+logical workload as the forwarding oracle, and the incremental AP checker
+runs alongside the full verifier so the mirror-maintenance path is fuzzed
+for free.
+
+Budget knobs (for CI): ``FUZZ_EXAMPLES`` (default 20 scenarios) and
+``FUZZ_STEPS`` (default 30 operations per scenario).
+"""
+
+import os
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.analysis.ap import attach_incremental_checker, violation_fingerprint
+from repro.analysis.verifier import verify_installer
+from repro.core import HermesConfig, HermesInstaller
+from repro.switchsim import DirectInstaller, FlowMod
+from repro.tcam import Action, Prefix, Rule, dell_8132f, pica8_p3290
+
+FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "20"))
+FUZZ_STEPS = int(os.environ.get("FUZZ_STEPS", "30"))
+
+
+class HermesFuzz(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.hermes = HermesInstaller(
+            pica8_p3290(),
+            config=HermesConfig(
+                shadow_capacity=32,
+                admission_control=False,
+                epoch=0.01,
+                verify_migrations=True,
+            ),
+        )
+        self.oracle = DirectInstaller(dell_8132f())
+        self.checker = attach_incremental_checker(self.hermes)
+        self.time = 0.0
+        self.live = []  # (hermes_rule, oracle_rule) pairs
+        self.used_priorities = set()
+
+    # -- operations ----------------------------------------------------
+    @rule(
+        length=st.integers(min_value=8, max_value=16),
+        selector=st.integers(min_value=0, max_value=15),
+        priority=st.integers(min_value=2, max_value=400),
+        port=st.integers(min_value=1, max_value=7),
+    )
+    def add_rule(self, length, selector, priority, port):
+        # Unique priorities keep overlapping-tie lookup order well defined,
+        # so an oracle mismatch always means a real partitioning bug rather
+        # than an implementation-defined tie-break.
+        while priority in self.used_priorities:
+            priority += 1
+        self.used_priorities.add(priority)
+        mask = ((1 << length) - 1) << (32 - length)
+        network = ((10 << 24) | (selector << (32 - length))) & mask
+        prefix = Prefix(network, length)
+        self.time += 0.005
+        self.hermes.advance_time(self.time)
+        h_rule = Rule.from_prefix(prefix, priority, Action.output(port))
+        o_rule = Rule.from_prefix(prefix, priority, Action.output(port))
+        self.hermes.apply(FlowMod.add(h_rule))
+        self.oracle.apply(FlowMod.add(o_rule))
+        self.live.append((h_rule, o_rule))
+
+    @precondition(lambda self: self.live)
+    @rule(selector=st.integers(min_value=0, max_value=1 << 30))
+    def delete_rule(self, selector):
+        h_rule, o_rule = self.live.pop(selector % len(self.live))
+        self.time += 0.005
+        self.hermes.advance_time(self.time)
+        self.hermes.apply(FlowMod.delete(h_rule.rule_id))
+        self.oracle.apply(FlowMod.delete(o_rule.rule_id))
+
+    @precondition(lambda self: self.live)
+    @rule(
+        selector=st.integers(min_value=0, max_value=1 << 30),
+        port=st.integers(min_value=1, max_value=7),
+    )
+    def modify_action(self, selector, port):
+        index = selector % len(self.live)
+        h_rule, o_rule = self.live[index]
+        self.time += 0.005
+        self.hermes.advance_time(self.time)
+        self.hermes.apply(FlowMod.modify(h_rule.rule_id, action=Action.output(port)))
+        self.oracle.apply(FlowMod.modify(o_rule.rule_id, action=Action.output(port)))
+
+    @rule()
+    def force_migration(self):
+        self.time += 0.005
+        self.hermes.rule_manager.migrate(self.time)
+
+    # -- invariants (the verifier IS the fuzzing oracle) ---------------
+    @invariant()
+    def partition_invariant_holds(self):
+        violations = verify_installer(self.hermes)
+        assert violations == [], [str(v) for v in violations]
+
+    @invariant()
+    def incremental_checker_agrees(self):
+        if self.checker is not None:
+            assert violation_fingerprint(self.checker.violations()) == (
+                violation_fingerprint(verify_installer(self.hermes))
+            )
+
+    @invariant()
+    def migration_plans_verified_clean(self):
+        assert self.hermes.rule_manager.migration_violations == []
+
+    @invariant()
+    def forwarding_matches_oracle(self):
+        for h_rule, _ in self.live:
+            prefix = h_rule.match.to_prefix()
+            for probe in (prefix.first_address, prefix.last_address):
+                h_hit = self.hermes.lookup(probe)
+                o_hit = self.oracle.lookup(probe)
+                assert (h_hit is None) == (o_hit is None), hex(probe)
+                if h_hit is not None:
+                    assert h_hit.action == o_hit.action, hex(probe)
+
+
+HermesFuzz.TestCase.settings = settings(
+    max_examples=FUZZ_EXAMPLES,
+    stateful_step_count=FUZZ_STEPS,
+    deadline=None,
+)
+
+TestHermesFuzz = HermesFuzz.TestCase

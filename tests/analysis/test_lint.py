@@ -11,6 +11,8 @@ from repro.analysis.lint import (
     UNORDERED_ITERATION,
     UNSEEDED_RANDOM,
     WALL_CLOCK,
+    apply_fixes,
+    fix_paths,
     format_findings,
     lint_file,
     lint_paths,
@@ -20,6 +22,7 @@ from repro.analysis.lint import (
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 FIXTURE = os.path.join(HERE, "fixtures", "nondeterminism_bad.py")
+ENV_FIXTURE = os.path.join(HERE, "fixtures", "env_ordering_bad.py")
 
 
 def check(code):
@@ -238,3 +241,126 @@ class TestFixtureAndSources:
         src = os.path.join(REPO_ROOT, "src", "repro")
         findings = lint_paths([src])
         assert findings == [], format_findings(findings)
+
+
+class TestEnvironmentOrdering:
+    def test_for_over_environ_flagged_and_fixable(self):
+        findings = check(
+            """
+            import os
+            for name in os.environ:
+                print(name)
+            """
+        )
+        assert rules_of(findings) == [UNORDERED_ITERATION]
+        assert findings[0].fixable
+
+    def test_environ_views_flagged(self):
+        findings = check(
+            """
+            import os
+            pairs = list(os.environ.items())
+            keys = [k for k in os.environ.keys()]
+            """
+        )
+        assert rules_of(findings) == [UNORDERED_ITERATION] * 2
+        assert all(finding.fixable for finding in findings)
+
+    def test_aliased_environ_import_flagged(self):
+        findings = check(
+            """
+            from os import environ as env
+            for name in env:
+                print(name)
+            """
+        )
+        assert rules_of(findings) == [UNORDERED_ITERATION]
+
+    def test_listdir_flagged_scandir_not_fixable(self):
+        findings = check(
+            """
+            import os
+            names = list(os.listdir("."))
+            for entry in os.scandir("."):
+                print(entry)
+            """
+        )
+        assert rules_of(findings) == [UNORDERED_ITERATION] * 2
+        by_fixable = sorted(finding.fixable for finding in findings)
+        assert by_fixable == [False, True]
+
+    def test_iterdir_flagged(self):
+        findings = check(
+            """
+            from pathlib import Path
+            names = [p.name for p in Path(".").iterdir()]
+            """
+        )
+        assert rules_of(findings) == [UNORDERED_ITERATION]
+        assert findings[0].fixable
+
+    def test_sorted_sources_are_clean(self):
+        findings = check(
+            """
+            import os
+            from pathlib import Path
+            for name in sorted(os.environ):
+                print(name)
+            names = list(sorted(os.listdir(".")))
+            paths = [p for p in sorted(Path(".").iterdir())]
+            """
+        )
+        assert findings == []
+
+    def test_environ_pragma_suppresses(self):
+        findings = check(
+            """
+            import os
+            for name in os.environ:  # det: allow(unordered-iteration) -- sink is a set union
+                print(name)
+            """
+        )
+        assert findings == []
+
+
+class TestAutofix:
+    def test_fixture_roundtrip_leaves_only_scandir(self):
+        with open(ENV_FIXTURE, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        findings = lint_file(ENV_FIXTURE)
+        assert len(findings) == 7
+        fixed, applied = apply_fixes(source, findings)
+        assert applied == 6
+        residual = lint_source(fixed, ENV_FIXTURE)
+        assert [finding.fixable for finding in residual] == [False]
+        assert "os.scandir" in residual[0].message
+
+    def test_fix_inserts_sorted_wrapper(self):
+        source = "import os\nnames = list(os.listdir('.'))\n"
+        fixed, applied = apply_fixes(source, lint_source(source))
+        assert applied == 1
+        assert "list(sorted(os.listdir('.')))" in fixed
+        assert lint_source(fixed) == []
+
+    def test_fix_preserves_unrelated_lines(self):
+        source = "import os\nx = 1\nfor k in os.environ:\n    pass\ny = 2\n"
+        fixed, applied = apply_fixes(source, lint_source(source))
+        assert applied == 1
+        assert "x = 1\n" in fixed and "y = 2\n" in fixed
+        assert "for k in sorted(os.environ):" in fixed
+
+    def test_fix_paths_rewrites_file_in_place(self, tmp_path):
+        target = tmp_path / "needs_fix.py"
+        target.write_text("import os\nnames = list(os.environ)\n")
+        results = fix_paths([str(tmp_path)])
+        assert results == [(str(target), 1)]
+        assert "list(sorted(os.environ))" in target.read_text()
+        assert lint_file(str(target)) == []
+
+    def test_fix_paths_leaves_clean_files_untouched(self, tmp_path):
+        target = tmp_path / "clean.py"
+        original = "import os\nnames = sorted(os.environ)\n"
+        target.write_text(original)
+        results = fix_paths([str(tmp_path)])
+        assert results == [(str(target), 0)]
+        assert target.read_text() == original

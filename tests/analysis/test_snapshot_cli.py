@@ -13,6 +13,7 @@ import sys
 import pytest
 
 from repro.analysis.snapshot import (
+    diff_snapshots,
     dump_snapshot,
     load_snapshot,
     read_snapshot,
@@ -26,6 +27,7 @@ from repro.tcam.ternary import TernaryMatch
 HERE = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 FIXTURE = os.path.join(HERE, "fixtures", "nondeterminism_bad.py")
+ENV_FIXTURE = os.path.join(HERE, "fixtures", "env_ordering_bad.py")
 
 
 class TestRoundTrip:
@@ -141,3 +143,132 @@ class TestCli:
     def test_missing_snapshot_is_a_usage_error(self):
         result = run_cli("verify", "/nonexistent/snapshot.json")
         assert result.returncode == 2
+
+
+def P(prefix, priority, port=1, rule_id=0):
+    return Rule.from_prefix(prefix, priority, Action.output(port), rule_id=rule_id)
+
+
+class TestSnapshotDiff:
+    def pair(self):
+        older = load_snapshot(
+            snapshot_tables(
+                {
+                    "shadow": [P("10.0.0.0/16", 50, rule_id=1)],
+                    "main": [
+                        P("10.1.0.0/16", 40, rule_id=2),
+                        P("10.2.0.0/16", 30, rule_id=3),
+                    ],
+                }
+            )
+        )
+        newer = load_snapshot(
+            snapshot_tables(
+                {
+                    "shadow": [P("10.3.0.0/16", 20, rule_id=4)],
+                    "main": [
+                        P("10.0.0.0/16", 50, rule_id=1),  # moved from shadow
+                        P("10.1.0.0/16", 45, rule_id=2),  # priority changed
+                    ],
+                }
+            )
+        )
+        return older, newer
+
+    def test_buckets_by_rule_id(self):
+        older, newer = self.pair()
+        delta = diff_snapshots(older, newer)
+        assert delta.added == (4,)
+        assert delta.removed == (3,)
+        assert delta.moved == (1,)
+        assert delta.modified == (2,)
+        assert delta.changed_ids == frozenset({1, 2, 3, 4})
+        assert not delta.is_empty
+
+    def test_identical_snapshots_have_empty_delta(self):
+        older, _ = self.pair()
+        delta = diff_snapshots(older, older)
+        assert delta.is_empty
+        assert delta.to_dict() == {
+            "added": [],
+            "removed": [],
+            "moved": [],
+            "modified": [],
+        }
+
+
+class TestCliEngines:
+    def test_scenario_cross_check_agrees(self):
+        result = run_cli("scenario", "--steps", "40", "--cross-check")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "agree" in result.stdout
+
+    def test_scenario_symbolic_engine_matches(self):
+        result = run_cli("scenario", "--steps", "40", "--engine", "symbolic")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_corrupt_scenario_cross_check_still_fails_cleanly(self):
+        result = run_cli(
+            "scenario", "--steps", "40", "--corrupt", "swap-priority",
+            "--cross-check",
+        )
+        # Both engines see the same corruption: exit 1 (violations), not 2.
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "agree" in result.stdout
+
+
+class TestCliOverTime:
+    def snapshots(self, tmp_path, corrupt=None):
+        older = str(tmp_path / "older.json")
+        newer = str(tmp_path / "newer.json")
+        assert run_cli("scenario", "--steps", "40", "--out", older).returncode == 0
+        newer_args = ["scenario", "--steps", "40", "--out", newer]
+        if corrupt:
+            newer_args += ["--corrupt", corrupt]
+        run_cli(*newer_args)
+        return older, newer
+
+    def test_clean_pair_is_legitimate_churn(self, tmp_path):
+        older, newer = self.snapshots(tmp_path)
+        result = run_cli("verify", older, newer)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "legitimate churn" in result.stdout
+        assert "delta" in result.stdout
+
+    def test_corruption_localized_to_the_changed_rule(self, tmp_path):
+        older, newer = self.snapshots(tmp_path, corrupt="swap-priority")
+        result = run_cli("verify", older, newer)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "corruption introduced between" in result.stdout
+        # The planted twin carries rule id 10000000; the delta names it.
+        assert "implicated by the delta: rule #10000000" in result.stdout
+
+    def test_corrupt_older_snapshot_reported_first(self, tmp_path):
+        older, newer = self.snapshots(tmp_path, corrupt="duplicate")
+        result = run_cli("verify", newer, older)
+        assert result.returncode == 1, result.stdout + result.stderr
+        assert "corruption already present" in result.stdout
+
+    def test_three_snapshots_is_a_usage_error(self, tmp_path):
+        older, newer = self.snapshots(tmp_path)
+        result = run_cli("verify", older, newer, older)
+        assert result.returncode == 2
+
+
+class TestCliLintFix:
+    def test_env_fixture_fails_lint(self):
+        result = run_cli("lint", ENV_FIXTURE)
+        assert result.returncode == 1
+        assert "unordered-iteration" in result.stdout
+
+    def test_fix_rewrites_then_reports_residual(self, tmp_path):
+        target = tmp_path / "bad.py"
+        with open(ENV_FIXTURE, "r", encoding="utf-8") as handle:
+            target.write_text(handle.read())
+        result = run_cli("lint", "--fix", str(target))
+        # Six rewrites land; the unorderable os.scandir finding remains.
+        assert "6 fix(es) in total" in result.stdout
+        assert result.returncode == 1
+        assert "os.scandir" in result.stdout
+        rerun = run_cli("lint", "--fix", str(target))
+        assert "0 fix(es) in total" in rerun.stdout

@@ -208,6 +208,17 @@ class TestMigrationIntegration:
         assert len(hermes.rule_manager.migrations) >= 2
         assert hermes.violations == 0
 
+    def test_verified_migrations_stay_clean_under_load(self):
+        hermes = make_hermes(verify_migrations=True)
+        agent = SwitchAgent(hermes)
+        time = 0.0
+        for index in range(400):
+            r = rule(f"10.{index % 40}.{index % 200}.0/24", 100 + index)
+            agent.submit(FlowMod.add(r), at_time=time)
+            time += 1e-3
+        assert hermes.rule_manager.plans_verified >= 1
+        assert hermes.rule_manager.migration_violations == []
+
     def test_reconfigure_guarantee_resizes_shadow(self):
         hermes = make_hermes()
         original_capacity = hermes.shadow.capacity

@@ -223,3 +223,62 @@ class TestTick:
     def test_epoch_validation(self):
         with pytest.raises(ValueError):
             make_manager(epoch=0.0)
+
+
+class TestMigrationVerification:
+    def test_clean_migration_plan_verifies(self):
+        manager, shadow, main, _ = make_manager(
+            threshold=0.0, verify_migrations=True
+        )
+        for index in range(4):
+            shadow.insert(rule(f"10.{index}.0.0/16", 10 + index))
+        manager.migrate(now=1.0)
+        assert manager.plans_verified == 1
+        assert manager.migration_violations == []
+        assert main.occupancy == 4
+
+    def test_verification_off_by_default(self):
+        manager, shadow, _, _ = make_manager(threshold=0.0)
+        shadow.insert(rule("10.0.0.0/16", 10))
+        manager.migrate(now=1.0)
+        assert manager.plans_verified == 0
+        assert manager.migration_violations == []
+
+    def test_sabotaged_plan_surfaces_inversion(self, monkeypatch):
+        from repro.tcam import moveplan
+
+        real = moveplan.plan_batch_placement
+
+        def reversed_plan(batch, resident, capacity):
+            plan = real(batch, resident, capacity)
+            return moveplan.PlacementPlan(
+                order=tuple(reversed(plan.order)),
+                slots=plan.slots,
+                moves_avoided=plan.moves_avoided,
+            )
+
+        monkeypatch.setattr(moveplan, "plan_batch_placement", reversed_plan)
+        manager, shadow, _, _ = make_manager(
+            threshold=0.0, verify_migrations=True
+        )
+        shadow.insert(rule("10.0.0.0/8", 10))
+        shadow.insert(rule("10.0.0.0/16", 20))
+        manager.migrate(now=1.0)
+        assert manager.plans_verified == 1
+        kinds = {
+            violation.kind for violation in manager.migration_violations
+        }
+        assert "moveplan-inversion" in kinds
+
+    def test_refresh_only_migration_skips_planning(self):
+        manager, shadow, main, _ = make_manager(
+            threshold=0.0, verify_migrations=True
+        )
+        migrated = rule("10.0.0.0/16", 10)
+        main.insert(migrated)
+        shadow.insert(migrated)
+        manager.migrate(now=1.0)
+        # The only rule already lives in the main table, so the writer runs
+        # its refresh protocol and there is no planned batch to verify.
+        assert manager.plans_verified == 0
+        assert manager.migration_violations == []
