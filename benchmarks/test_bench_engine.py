@@ -1,0 +1,226 @@
+"""Benchmark: the discrete-event kernel's two completion strategies and
+the process-parallel sweep runner.
+
+Three measurements land in one JSON artifact (``BENCH_engine.json``):
+
+* **dispatch micro-benchmark** — a real :class:`~repro.simulator.Simulation`
+  is loaded with ≥10k active flows and the cost of ``K`` dispatches is
+  measured for both strategies: scan mode calls ``_next_completion()`` (an
+  O(active-flows) ETA scan) once per dispatch, event mode arms one kernel
+  completion event per rate epoch and pays a heap peek per dispatch.  This
+  isolates exactly the code path ``completion_mode`` switches.
+* **end-to-end equality run** — the same moderate workload runs to
+  completion under both modes; FCTs must be byte-identical (the ulp
+  contract ``tests/engine/test_event_mode.py`` pins) and both wall times
+  are recorded.
+* **sweep speedup** — the sensitivity sweep runs serially and with 4
+  workers.  On multi-core CI runners the parallel run must be ≥2× faster;
+  the container this repo is usually developed in has one CPU, so that
+  assertion only fires when ``BENCH_ENGINE_REQUIRE_SPEEDUP=1`` (the CI
+  engine job sets it).  The artifact always records the honest timings and
+  ``os.cpu_count()``.
+
+Environment knobs:
+    ``BENCH_ENGINE_FLOWS``            active flows in the dispatch
+                                      micro-benchmark (default 10000).
+    ``BENCH_ENGINE_DISPATCHES``       dispatches measured per strategy
+                                      (default 2000).
+    ``BENCH_ENGINE_SWEEP_WORKERS``    parallel worker count (default 4).
+    ``BENCH_ENGINE_REQUIRE_SPEEDUP``  set to 1 to assert the ≥2× sweep
+                                      speedup (CI, multi-core only).
+    ``BENCH_ENGINE_OUT``              artifact path (default
+                                      ``results/BENCH_engine.json``).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.baselines import make_installer
+from repro.engine import write_bench
+from repro.experiments.sensitivity import SensitivityConfig
+from repro.experiments.sensitivity import run as run_sensitivity
+from repro.simulator import Simulation, SimulationConfig, TeAppConfig
+from repro.simulator.simulation import _ActiveFlow
+from repro.tcam import get_switch_model
+from repro.topology import FatTreeSpec, build_fat_tree, hosts
+from repro.traffic.flows import FlowSpec
+
+FORMAT = "hermes-engine-bench/1"
+
+
+def _synthetic_flows(count, seed=11, size=5e6):
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    endpoints = hosts(graph)
+    rng = np.random.default_rng(seed)
+    flows = []
+    for index in range(count):
+        source = endpoints[index % len(endpoints)]
+        destination = endpoints[(index * 7 + 3) % len(endpoints)]
+        if source == destination:
+            destination = endpoints[(index * 7 + 4) % len(endpoints)]
+        flows.append(
+            FlowSpec(
+                source=source,
+                destination=destination,
+                size=size + float(rng.integers(0, 1e6)),
+                start_time=0.001 * (index % 50),
+            )
+        )
+    return graph, flows
+
+
+def _loaded_simulation(flow_count):
+    """A real Simulation whose active set holds ``flow_count`` flows.
+
+    The flows are injected directly (their arrivals never dispatch), so
+    the measurement below isolates the per-dispatch completion-selection
+    cost from arrival/rate-recompute physics.
+    """
+    graph, flows = _synthetic_flows(flow_count)
+    timing = get_switch_model("pica8-p3290")
+    factory = lambda name: make_installer("naive", timing)
+    simulation = Simulation(
+        graph,
+        flows[:1],
+        factory,
+        SimulationConfig(te=TeAppConfig(epoch=1e6), baseline_occupancy=0),
+    )
+    for index, spec in enumerate(flows):
+        simulation._active[spec.flow_id] = _ActiveFlow(
+            spec=spec,
+            remaining_bytes=spec.size,
+            path=(spec.source, spec.destination),
+            rate=1e6 + (index % 97) * 1e3,
+        )
+    return simulation
+
+
+def dispatch_microbench(flow_count, dispatches):
+    """Per-dispatch completion-selection cost, scan vs event strategy.
+
+    Scan mode's loop calls ``_next_completion()`` every iteration — K
+    dispatches cost K full ETA scans over the active set.  Event mode arms
+    the argmin once per rate epoch and pays one heap peek per dispatch.
+    """
+    simulation = _loaded_simulation(flow_count)
+
+    start = time.perf_counter()
+    for _ in range(dispatches):
+        scan_pick = simulation._next_completion()
+    scan_seconds = time.perf_counter() - start
+
+    simulation._schedule_completion()  # one arm per rate epoch
+    scheduler = simulation._scheduler
+    start = time.perf_counter()
+    for _ in range(dispatches):
+        event_pick = scheduler.peek()
+    event_seconds = time.perf_counter() - start
+
+    assert scan_pick[1] is not None
+    assert event_pick is not None
+    # det: allow(float-eq) -- both strategies must pick the same argmin ETA
+    assert event_pick.time == scan_pick[0]
+    return {
+        "flows": flow_count,
+        "dispatches": dispatches,
+        "scan_seconds": scan_seconds,
+        "event_seconds": event_seconds,
+        "speedup": scan_seconds / max(event_seconds, 1e-9),
+    }
+
+
+def end_to_end_comparison(flow_count=300):
+    timings = {}
+    fcts = {}
+    for mode in ("scan", "event"):
+        graph, flows = _synthetic_flows(flow_count, size=1e6)
+        timing = get_switch_model("pica8-p3290")
+        factory = lambda name: make_installer("naive", timing)
+        config = SimulationConfig(
+            te=TeAppConfig(epoch=1e6),
+            baseline_occupancy=0,
+            completion_mode=mode,
+        )
+        simulation = Simulation(graph, flows, factory, config)
+        start = time.perf_counter()
+        metrics = simulation.run()
+        timings[mode] = time.perf_counter() - start
+        fcts[mode] = metrics.fcts()
+    assert len(fcts["event"]) == len(fcts["scan"]) == flow_count
+    assert fcts["event"] == fcts["scan"], (
+        "event mode must stay byte-identical to scan on pure "
+        "arrival/completion workloads"
+    )
+    return {
+        "flows": flow_count,
+        "scan_seconds": timings["scan"],
+        "event_seconds": timings["event"],
+    }
+
+
+def sweep_speedup(workers):
+    config = SensitivityConfig(duration=1.0)
+    start = time.perf_counter()
+    serial = run_sensitivity(config, workers=1)
+    serial_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = run_sensitivity(config, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+    assert parallel.rows == serial.rows
+    return {
+        "cells": len(serial.rows),
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / max(parallel_seconds, 1e-9),
+    }
+
+
+def run_bench():
+    flow_count = int(os.environ.get("BENCH_ENGINE_FLOWS", "10000"))
+    dispatches = int(os.environ.get("BENCH_ENGINE_DISPATCHES", "2000"))
+    workers = int(os.environ.get("BENCH_ENGINE_SWEEP_WORKERS", "4"))
+    return {
+        "cpu_count": os.cpu_count(),
+        "dispatch": dispatch_microbench(flow_count, dispatches),
+        "end_to_end": end_to_end_comparison(),
+        "sweep": sweep_speedup(workers),
+    }
+
+
+def test_bench_engine(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    out_path = os.environ.get(
+        "BENCH_ENGINE_OUT", os.path.join("results", "BENCH_engine.json")
+    )
+    write_bench(out_path, FORMAT, payload)
+
+    dispatch = payload["dispatch"]
+    sweep = payload["sweep"]
+    print()
+    print(
+        f"dispatch ({dispatch['flows']} flows x {dispatch['dispatches']}): "
+        f"scan={dispatch['scan_seconds']:.3f}s "
+        f"event={dispatch['event_seconds']:.3f}s "
+        f"({dispatch['speedup']:.0f}x)"
+    )
+    print(
+        f"end-to-end ({payload['end_to_end']['flows']} flows): "
+        f"scan={payload['end_to_end']['scan_seconds']:.2f}s "
+        f"event={payload['end_to_end']['event_seconds']:.2f}s"
+    )
+    print(
+        f"sweep ({sweep['cells']} cells, {sweep['workers']} workers, "
+        f"{payload['cpu_count']} cpus): serial={sweep['serial_seconds']:.2f}s "
+        f"parallel={sweep['parallel_seconds']:.2f}s "
+        f"({sweep['speedup']:.2f}x)"
+    )
+
+    # The headline: scheduled completions beat the per-dispatch ETA scan by
+    # orders of magnitude once the active set is large.
+    assert dispatch["flows"] >= 10_000
+    assert dispatch["speedup"] >= 10, dispatch
+    if os.environ.get("BENCH_ENGINE_REQUIRE_SPEEDUP"):
+        assert sweep["speedup"] >= 2.0, sweep

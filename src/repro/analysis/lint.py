@@ -50,6 +50,17 @@ are reported but never rewritten.
     ``annotate``).  Trace timestamps must come from *sim* time, or two
     runs of the same scenario produce different traces and the
     golden-trace determinism guarantee breaks.
+``adhoc-event-loop``
+    A private event loop outside :mod:`repro.engine`: importing or
+    calling ``heapq`` (the kernel's
+    :class:`~repro.engine.EventScheduler` owns the priority queue — a
+    second heap means a second, unsynchronized notion of "next event"),
+    or assigning a mutable simulated-time attribute (``now`` / ``_now`` /
+    ``busy_until`` / ``_busy_until``) — virtual time must derive from the
+    kernel :class:`~repro.engine.Clock` /
+    :class:`~repro.engine.SerialResource` so every layer shares one
+    timeline.  Files under ``repro/engine/`` are exempt: they *are* the
+    kernel.
 ``bare-pragma``
     A suppression pragma with no justification (see below).
 
@@ -79,6 +90,7 @@ WALL_CLOCK = "wall-clock"
 UNORDERED_ITERATION = "unordered-iteration"
 FLOAT_EQ = "float-eq"
 TRACER_WALL_CLOCK = "tracer-wall-clock"
+ADHOC_EVENT_LOOP = "adhoc-event-loop"
 BARE_PRAGMA = "bare-pragma"
 
 ALL_RULES = (
@@ -87,6 +99,7 @@ ALL_RULES = (
     UNORDERED_ITERATION,
     FLOAT_EQ,
     TRACER_WALL_CLOCK,
+    ADHOC_EVENT_LOOP,
     BARE_PRAGMA,
 )
 
@@ -145,6 +158,9 @@ _TIMEY_SUFFIXES = ("_time", "_until", "_deadline", "_timestamp", "_at")
 # Methods of repro.obs tracers/spans that take (sim-time) timestamps.
 _TRACER_METHODS = {"start_span", "event", "sample"}
 _SPAN_METHODS = {"finish", "annotate"}
+
+# Attributes that smell like a privately-mutated simulated-time cursor.
+_SIM_TIME_ATTRS = {"now", "_now", "busy_until", "_busy_until"}
 
 
 @dataclass(frozen=True)
@@ -242,7 +258,12 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.findings: List[LintFinding] = []
         self._random_imports: Set[str] = set()
         self._os_imports: Dict[str, str] = {}  # local alias -> os.* name
+        self._heapq_imports: Set[str] = set()
         self._exempt_nodes: Set[int] = set()
+        # The kernel is the one place allowed to own a heap and mutate
+        # simulated time; everything else must go through it.
+        normalized = path.replace(os.sep, "/")
+        self._in_engine = "repro/engine/" in normalized
 
     # -- helpers ------------------------------------------------------
     def _flag(
@@ -297,6 +318,18 @@ class _DeterminismVisitor(ast.NodeVisitor):
         return None
 
     # -- imports ------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "heapq" and not self._in_engine:
+                self._flag(
+                    node,
+                    ADHOC_EVENT_LOOP,
+                    "'import heapq' outside repro.engine builds a private "
+                    "event queue; schedule through "
+                    "repro.engine.EventScheduler",
+                )
+        self.generic_visit(node)
+
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.module == "random":
             for alias in node.names:
@@ -305,6 +338,17 @@ class _DeterminismVisitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in {"environ", "listdir", "scandir"}:
                     self._os_imports[alias.asname or alias.name] = alias.name
+        if node.module == "heapq":
+            for alias in node.names:
+                self._heapq_imports.add(alias.asname or alias.name)
+            if not self._in_engine:
+                self._flag(
+                    node,
+                    ADHOC_EVENT_LOOP,
+                    "'from heapq import ...' outside repro.engine builds a "
+                    "private event queue; schedule through "
+                    "repro.engine.EventScheduler",
+                )
         self.generic_visit(node)
 
     # -- calls --------------------------------------------------------
@@ -317,7 +361,28 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._check_wall_clock_call(node)
         self._check_tracer_args(node)
         self._check_set_sink(node)
+        self._check_heapq_call(node)
         self.generic_visit(node)
+
+    def _check_heapq_call(self, node: ast.Call) -> None:
+        if self._in_engine:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and _root_name(func) == "heapq":
+            self._flag(
+                node,
+                ADHOC_EVENT_LOOP,
+                f"'heapq.{func.attr}()' outside repro.engine runs a private "
+                "event queue; schedule through repro.engine.EventScheduler",
+            )
+        elif isinstance(func, ast.Name) and func.id in self._heapq_imports:
+            self._flag(
+                node,
+                ADHOC_EVENT_LOOP,
+                f"'{func.id}()' (imported from heapq) outside repro.engine "
+                "runs a private event queue; schedule through "
+                "repro.engine.EventScheduler",
+            )
 
     def _check_random_call(self, node: ast.Call) -> None:
         func = node.func
@@ -473,6 +538,35 @@ class _DeterminismVisitor(ast.NodeVisitor):
     visit_DictComp = _visit_comprehension
     visit_GeneratorExp = _visit_comprehension
     visit_SetComp = _visit_comprehension
+
+    # -- simulated-time mutation --------------------------------------
+    def _check_time_attr_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Attribute) and target.attr in _SIM_TIME_ATTRS:
+            self._flag(
+                target,
+                ADHOC_EVENT_LOOP,
+                f"assignment to mutable simulated-time attribute "
+                f"'{target.attr}' outside repro.engine; derive virtual time "
+                "from the kernel Clock / SerialResource",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._in_engine:
+            for target in node.targets:
+                # ast.walk reaches attributes inside tuple/list targets.
+                for sub in ast.walk(target):
+                    self._check_time_attr_target(sub)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self._in_engine:
+            self._check_time_attr_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._in_engine and node.value is not None:
+            self._check_time_attr_target(node.target)
+        self.generic_visit(node)
 
     # -- comparisons --------------------------------------------------
     def visit_Compare(self, node: ast.Compare) -> None:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..engine.clock import Clock
 from ..switchsim.installer import RuleInstaller
 from ..switchsim.messages import FlowMod, FlowModCommand, FlowModResult
 from ..tcam.rule import Rule
@@ -56,8 +57,13 @@ class ShadowSwitchInstaller(RuleInstaller):
         self._software: Dict[int, Rule] = {}
         self._entered_software_at: Dict[int, float] = {}
         self.time_in_software: List[float] = []
-        self._now = 0.0
+        self._clock = Clock()
         self._last_sync = 0.0
+
+    @property
+    def _now(self) -> float:
+        """The installer's virtual-time high-water mark (kernel clock)."""
+        return self._clock.now
 
     # ------------------------------------------------------------------
     # RuleInstaller interface
@@ -82,7 +88,7 @@ class ShadowSwitchInstaller(RuleInstaller):
 
     def advance_time(self, now: float) -> float:
         """Run due background syncs; returns background seconds consumed."""
-        self._now = max(self._now, now)
+        self._clock.advance_to(max(self._clock.now, now))
         background = 0.0
         while self._now - self._last_sync >= self.sync_interval and self._software:
             self._last_sync += self.sync_interval

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..engine.clock import Clock
 from ..faults.table import FaultyTable, verified_insert
 from ..obs.tracer import get_tracer
 from ..switchsim.installer import RuleInstaller
@@ -173,7 +174,7 @@ class HermesInstaller(RuleInstaller):
         self.timing = timing
         self.config = config if config is not None else HermesConfig()
         self.injector = injector
-        self._now = 0.0
+        self._clock = Clock()
         self._degraded_until: Optional[float] = None
         shadow_capacity = (
             self.config.shadow_capacity
@@ -260,6 +261,11 @@ class HermesInstaller(RuleInstaller):
     # ------------------------------------------------------------------
     # Derived properties
     # ------------------------------------------------------------------
+    @property
+    def _now(self) -> float:
+        """The installer's virtual-time high-water mark (kernel clock)."""
+        return self._clock.now
+
     @property
     def shadow(self) -> TcamTable:
         """The small guaranteed-insertion slice (fault-wrapped if injecting)."""
@@ -373,7 +379,7 @@ class HermesInstaller(RuleInstaller):
     # ------------------------------------------------------------------
     def advance_time(self, now: float) -> float:
         """Drive the Rule Manager's clock; returns background seconds used."""
-        self._now = max(self._now, now)
+        self._clock.advance_to(max(self._clock.now, now))
         background = self.rule_manager.tick(self._now)
         if self.auto_tuner is not None:
             window = 4 * self.rule_manager.epoch

@@ -1,0 +1,48 @@
+"""The discrete-event kernel: one clock, one queue, named RNG streams.
+
+``repro.engine`` owns the three things every simulated layer used to
+re-implement privately:
+
+* **time** — :class:`Clock` (monotonic simulated seconds) and
+  :class:`SerialResource` (a busy-horizon for one-at-a-time hardware like
+  the switch CPU);
+* **scheduling** — :class:`EventScheduler`, a single priority queue with
+  deterministic ``(time, tier, seq)`` ordering identical to the
+  simulator's legacy heap (``seq`` breaks same-instant ties in scheduling
+  order; :data:`TIER_COMPLETION` slots flow completions ahead of
+  same-time events);
+* **randomness** — :class:`RngStreams`, named seeded streams replacing
+  the experiment layer's closure-counter seed derivation, plus
+  :func:`child_seed` for per-task sweep seeds.
+
+The clock/scheduler core is pure stdlib.  On top of it ride
+:class:`SweepRunner` (process-parallel experiment fan-out with
+deterministic, task-ordered merging) and :mod:`repro.engine.replay`
+(re-execute a recorded ``hermes-trace/1`` workload against a different
+scheme/switch model).  The simulator, the switch agents, and the
+experiment drivers are all clients of this package; the determinism
+lint's ``adhoc-event-loop`` rule keeps private event loops from creeping
+back in.
+"""
+
+from .clock import Clock, SerialResource
+from .rng import RngStreams, child_seed
+from .scheduler import TIER_COMPLETION, TIER_DEFAULT, Event, EventScheduler
+from .sweep import SweepOutcome, SweepRunner, SweepTask, write_bench
+from . import replay
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventScheduler",
+    "RngStreams",
+    "SerialResource",
+    "SweepOutcome",
+    "SweepRunner",
+    "SweepTask",
+    "TIER_COMPLETION",
+    "TIER_DEFAULT",
+    "child_seed",
+    "replay",
+    "write_bench",
+]

@@ -1,0 +1,119 @@
+"""Process-parallel experiment sweeps with deterministic merging.
+
+A sweep is a list of independent (experiment-function, args) tasks — one
+per predictor/corrector pair, chaos cell, or ablation variant.
+:class:`SweepRunner` fans them over worker processes and merges the
+results back **in task order**, so the merged output of a parallel run is
+indistinguishable from the serial loop it replaces (``workers=1`` *is*
+that loop: no pool, no pickling, byte-identical to the legacy code).
+
+Tasks must be module-level callables with picklable arguments — the same
+constraint ``concurrent.futures`` imposes; the experiment modules expose
+their per-cell functions (``run_pair``, ``run_cell``, ``run_variant``) at
+module scope for exactly this reason.  Per-task child seeds come from
+:func:`repro.engine.rng.child_seed` when a sweep wants decorrelated
+randomness per cell; the stock experiment sweeps seed each cell explicitly
+from their config, so placement never affects results.
+
+:func:`write_bench` records sweep timings in the repo's ``BENCH_*.json``
+artifact convention (a ``format`` tag plus a payload dict).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of a sweep: ``func(*args)`` run in some worker.
+
+    ``func`` must be picklable (module-level); ``label`` names the task in
+    reports.
+    """
+
+    func: Callable
+    args: Tuple = ()
+    label: str = ""
+
+
+@dataclass
+class SweepOutcome:
+    """A completed sweep: per-task results in task order, plus timing."""
+
+    results: List[object] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+
+class SweepRunner:
+    """Runs independent experiment tasks, serially or across processes.
+
+    ``workers=1`` (the default) runs the tasks inline in submission order —
+    the exact legacy behaviour of every experiment's ``for`` loop.
+    ``workers>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`;
+    results are gathered by task index, so the merged list is identical to
+    the serial one whenever the tasks themselves are process-independent
+    (each stock experiment cell seeds its own RNGs and builds its own
+    topology, so they are).
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        """Create a runner that uses ``workers`` processes (1 = inline)."""
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1: {workers}")
+        self.workers = workers
+
+    def map(self, func: Callable, task_args: Sequence[Tuple]) -> List[object]:
+        """Run ``func(*args)`` for each args tuple; results in task order."""
+        if self.workers == 1:
+            return [func(*args) for args in task_args]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(func, *args) for args in task_args]
+            return [future.result() for future in futures]
+
+    def run(self, tasks: Sequence[SweepTask]) -> SweepOutcome:
+        """Run heterogeneous tasks; returns results plus wall-clock timing.
+
+        Timing uses the process monotonic clock — it measures the *host*
+        cost of the sweep (the number benchmarks record), never simulated
+        time.
+        """
+        import time as _time
+
+        # det: allow(wall-clock) -- benchmarks measure real sweep cost
+        started = _time.perf_counter()
+        if self.workers == 1:
+            results = [task.func(*task.args) for task in tasks]
+        else:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                futures = [pool.submit(task.func, *task.args) for task in tasks]
+                results = [future.result() for future in futures]
+        # det: allow(wall-clock) -- benchmarks measure real sweep cost
+        elapsed = _time.perf_counter() - started
+        return SweepOutcome(
+            results=results,
+            labels=[task.label for task in tasks],
+            workers=self.workers,
+            elapsed_seconds=elapsed,
+        )
+
+
+def write_bench(
+    path: str, format_tag: str, payload: dict, indent: Optional[int] = 2
+) -> str:
+    """Write a ``BENCH_*.json`` artifact (format tag first); returns path."""
+    document = {"format": format_tag}
+    document.update(payload)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=indent)
+        handle.write("\n")
+    return path

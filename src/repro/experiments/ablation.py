@@ -20,6 +20,7 @@ import numpy as np
 
 from ..analysis import ExperimentResult
 from ..core import GuaranteeSpec, HermesConfig
+from ..engine.sweep import SweepRunner
 from ..traffic import MicrobenchConfig, generate_trace, seed_rules
 from .common import replay_trace
 
@@ -79,11 +80,20 @@ def run_variant(overrides: dict, config: AblationConfig):
     }
 
 
-def run(config: AblationConfig = AblationConfig()) -> ExperimentResult:
-    """Run every ablation variant on the shared workload."""
+def run(
+    config: AblationConfig = AblationConfig(), workers: int = 1
+) -> ExperimentResult:
+    """Run every ablation variant on the shared workload.
+
+    ``workers > 1`` runs the independent variants on a kernel
+    :class:`~repro.engine.sweep.SweepRunner` process pool; rows merge back
+    in :data:`VARIANTS` order, identical to the serial sweep.
+    """
+    variant_stats = SweepRunner(workers=workers).map(
+        run_variant, [(overrides, config) for _, overrides in VARIANTS]
+    )
     rows: List[tuple] = []
-    for label, overrides in VARIANTS:
-        stats = run_variant(overrides, config)
+    for (label, _overrides), stats in zip(VARIANTS, variant_stats):
         rows.append(
             (
                 label,

@@ -16,6 +16,7 @@ import numpy as np
 
 from ..baselines import make_installer
 from ..core import GuaranteeSpec, HermesConfig
+from ..engine.rng import RngStreams
 from ..obs.tracer import Tracer, get_tracer, use_tracer
 from ..simulator import Simulation, SimulationConfig, TeAppConfig
 from ..switchsim import SwitchAgent
@@ -82,7 +83,7 @@ def heterogeneous_installer_factory(
     ``"core"``, or any prefix of your topology's naming scheme) to a switch
     model registry key; unmatched switches use ``default_switch``.
     """
-    counter = {"next": 0}
+    streams = RngStreams(seed) if seed is not None else None
 
     def factory(switch_name: str):
         switch = default_switch
@@ -91,9 +92,8 @@ def heterogeneous_installer_factory(
                 switch = model
                 break
         rng = None
-        if seed is not None:
-            counter["next"] += 1
-            rng = np.random.default_rng(seed + counter["next"])
+        if streams is not None:
+            rng = streams.stream(f"installer:{switch_name}")
         return make_installer(
             scheme,
             get_switch_model(switch),
@@ -114,17 +114,16 @@ def installer_factory(
 ) -> Callable[[str], object]:
     """A per-switch installer factory for the simulator.
 
-    Each switch gets an independent installer (and an independent RNG
-    stream when ``seed`` is given, so latency noise differs per switch but
-    runs stay reproducible).
+    Each switch gets an independent installer (and an independent named
+    :class:`~repro.engine.rng.RngStreams` stream when ``seed`` is given, so
+    latency noise differs per switch but runs stay reproducible).
     """
-    counter = {"next": 0}
+    streams = RngStreams(seed) if seed is not None else None
 
     def factory(switch_name: str):
         rng = None
-        if seed is not None:
-            counter["next"] += 1
-            rng = np.random.default_rng(seed + counter["next"])
+        if streams is not None:
+            rng = streams.stream(f"installer:{switch_name}")
         return make_installer(
             scheme,
             get_switch_model(switch),

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..engine.clock import Clock
 from ..obs.tracer import get_tracer
 from ..switchsim.agent import SwitchAgent
 from ..switchsim.channel import (
@@ -88,6 +89,7 @@ class SdnController:
         injector=None,
         channel: str = "naive",
         channel_config: Optional[ChannelConfig] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         """Create agents for every switch in ``graph``.
 
@@ -102,6 +104,8 @@ class SdnController:
             channel: ``"naive"`` (fire-and-forget, the seed behaviour) or
                 ``"resilient"`` (retry/backoff/dedup/breaker).
             channel_config: resilient-channel tunables; ignored for naive.
+            clock: shared kernel clock every agent and channel derives its
+                virtual time from; None creates one for this controller.
         """
         if control_rtt < 0:
             raise ValueError(f"control_rtt cannot be negative: {control_rtt}")
@@ -112,8 +116,14 @@ class SdnController:
         self.graph = graph
         self.control_rtt = control_rtt
         self.injector = injector
+        self.clock = clock if clock is not None else Clock()
         self.agents: Dict[str, SwitchAgent] = {
-            node: SwitchAgent(installer_factory(node), name=node, injector=injector)
+            node: SwitchAgent(
+                installer_factory(node),
+                name=node,
+                injector=injector,
+                clock=self.clock,
+            )
             for node, data in graph.nodes(data=True)
             if data.get("kind") != "host"
         }
@@ -129,9 +139,12 @@ class SdnController:
                     config=channel_config,
                     rng=injector.child_rng(f"channel:{node}"),
                     on_breaker_open=enter_degraded,
+                    clock=self.clock,
                 )
             else:
-                self.channels[node] = NaiveChannel(agent, injector=injector)
+                self.channels[node] = NaiveChannel(
+                    agent, injector=injector, clock=self.clock
+                )
         # (flow_id, switch) -> installed rule id, for later deletion.
         self._flow_rules: Dict[Tuple[int, str], int] = {}
 

@@ -11,14 +11,14 @@ and 9).
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
+from ..engine.clock import Clock
+from ..engine.scheduler import TIER_COMPLETION, EventScheduler
 from ..faults.injector import FaultInjector
 from ..faults.spec import FaultPlan
 from ..obs.tracer import get_tracer
@@ -52,6 +52,17 @@ class SimulationConfig:
             all-zero plan with the naive channel) leaves results
             byte-identical to a fault-free run.
         fault_seed: seed of the fault injector's random stream.
+        completion_mode: how the next flow completion is found.  ``"scan"``
+            (the default) recomputes every active flow's ETA each loop
+            iteration — the legacy behaviour, byte-identical to the
+            pre-kernel simulator and the reference the parity digests pin.
+            ``"event"`` schedules the earliest completion as a kernel event
+            at each rate recompute and skips stale ones by rate-epoch —
+            O(1) per iteration instead of O(active flows), the mode the
+            10k-flow benchmark measures.  The two modes agree exactly
+            whenever every dispatched event recomputes rates (pure
+            arrival/completion workloads); interleaved non-recomputing
+            events (TE epochs) can move completions by float-rounding ulps.
     """
 
     control_rtt: float = 0.25e-3
@@ -66,8 +77,15 @@ class SimulationConfig:
     channel_config: Optional[ChannelConfig] = None
     fault_plan: Optional[FaultPlan] = None
     fault_seed: int = 0
+    completion_mode: str = "scan"
 
     def __post_init__(self) -> None:
+        if self.completion_mode not in ("scan", "event"):
+            raise ValueError(
+                "completion_mode must be 'scan' (legacy per-iteration ETA "
+                "scan) or 'event' (kernel-scheduled completions): "
+                f"{self.completion_mode!r}"
+            )
         if self.channel not in ("naive", "resilient"):
             raise ValueError(
                 f"channel must be 'naive' or 'resilient': {self.channel!r}"
@@ -109,6 +127,7 @@ class Simulation:
         installer_factory: InstallerFactory,
         config: Optional[SimulationConfig] = None,
         injector: Optional[FaultInjector] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         """Set up the run.
 
@@ -120,6 +139,9 @@ class Simulation:
             injector: explicit fault injector (e.g. one the installer
                 factory already shares); None builds one from
                 ``config.fault_plan``/``fault_seed`` when needed.
+            clock: explicit kernel :class:`~repro.engine.clock.Clock` to
+                run on (share one to co-simulate with other components);
+                None creates a private timeline starting at zero.
         """
         self.config = config if config is not None else SimulationConfig()
         self.graph = graph
@@ -131,6 +153,8 @@ class Simulation:
                 plan=self.config.fault_plan, seed=self.config.fault_seed
             )
         self.injector = injector
+        self.clock = clock if clock is not None else Clock()
+        self._scheduler = EventScheduler(self.clock)
         self.controller = SdnController(
             graph,
             installer_factory,
@@ -138,6 +162,7 @@ class Simulation:
             injector=injector,
             channel=self.config.channel,
             channel_config=self.config.channel_config,
+            clock=self.clock,
         )
         if self.config.baseline_occupancy > 0:
             self.controller.prefill_switches(self.config.baseline_occupancy)
@@ -150,13 +175,16 @@ class Simulation:
         self._arrivals = sorted(flows, key=lambda flow: flow.start_time)
         self._arrival_index = 0
         self._active: Dict[int, _ActiveFlow] = {}
-        self._events: List[Tuple[float, int, str, object]] = []
-        self._event_counter = itertools.count()
-        self.now = 0.0
+        self._rate_epoch = 0
         self._failed_links: set = set()
         self.blackhole_time = 0.0  # flow-seconds spent on failed paths
         for failure_time, link in self.config.link_failures:
             self._schedule(failure_time, "fail", tuple(sorted(link)))
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (read-only; the kernel clock owns it)."""
+        return self.clock.now
 
     @property
     def fault_log(self):
@@ -178,7 +206,7 @@ class Simulation:
     # Event plumbing
     # ------------------------------------------------------------------
     def _schedule(self, time: float, kind: str, payload: object = None) -> None:
-        heapq.heappush(self._events, (time, next(self._event_counter), kind, payload))
+        self._scheduler.schedule(time, kind, payload)
 
     def _next_arrival_time(self) -> float:
         if self._arrival_index < len(self._arrivals):
@@ -186,6 +214,11 @@ class Simulation:
         return math.inf
 
     def _next_completion(self) -> Tuple[float, Optional[int]]:
+        """Earliest-finishing active flow by per-iteration ETA scan.
+
+        Ties resolve to the first-inserted flow (strict ``<``) — the
+        tie-break the event mode reproduces through scheduling order.
+        """
         best_time, best_flow = math.inf, None
         for flow_id, state in self._active.items():
             if state.rate <= 0:
@@ -195,6 +228,24 @@ class Simulation:
                 best_time, best_flow = eta, flow_id
         return best_time, best_flow
 
+    def _schedule_completion(self) -> None:
+        """Event mode: re-arm the earliest completion for the new rate epoch.
+
+        Every rate recompute starts a new epoch; completion events carry
+        the epoch they were computed under, and stale ones are skipped on
+        pop.  Only the argmin is scheduled — when it fires, the resulting
+        recompute re-arms the next one.
+        """
+        self._rate_epoch += 1
+        best_time, best_flow = self._next_completion()
+        if best_flow is not None:
+            self._scheduler.schedule(
+                best_time,
+                "complete",
+                (best_flow, self._rate_epoch),
+                tier=TIER_COMPLETION,
+            )
+
     def _advance_to(self, time: float) -> None:
         """Drain bytes at current rates up to ``time``."""
         elapsed = time - self.now
@@ -203,7 +254,7 @@ class Simulation:
                 state.remaining_bytes -= state.rate * elapsed / 8.0
                 if state.remaining_bytes < 0:
                     state.remaining_bytes = 0.0
-        self.now = time
+        self.clock.advance_to(time)
 
     def _recompute_rates(self) -> None:
         paths = {
@@ -212,6 +263,8 @@ class Simulation:
         rates = max_min_fair_rates(paths, self._capacities)
         for flow_id, state in self._active.items():
             state.rate = rates.get(flow_id, 0.0)
+        if self.config.completion_mode == "event":
+            self._schedule_completion()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -219,9 +272,20 @@ class Simulation:
     def run(self) -> MetricsCollector:
         """Run to completion (or ``max_time``); returns the metrics."""
         self._schedule(self.config.te.epoch, "epoch")
+        if self.config.completion_mode == "event":
+            self._loop_event()
+        else:
+            self._loop_scan()
+        if self.injector is not None:
+            for kind, count in self.injector.log.counts().items():
+                self.metrics.record_fault(kind, count)
+        return self.metrics
+
+    def _loop_scan(self) -> None:
+        """Legacy loop: per-iteration completion scan (the parity reference)."""
         while True:
             completion_time, completing_flow = self._next_completion()
-            event_time = self._events[0][0] if self._events else math.inf
+            event_time = self._scheduler.next_time()
             arrival_time = self._next_arrival_time()
             next_time = min(completion_time, event_time, arrival_time)
             if math.isinf(next_time):
@@ -240,22 +304,77 @@ class Simulation:
             elif arrival_time == next_time:
                 self._admit_next_flow()
             else:
-                _, _, kind, payload = heapq.heappop(self._events)
-                if kind == "epoch":
-                    self._run_te_epoch()
-                elif kind == "activate":
-                    self._activate_path(payload)
-                elif kind == "start":
-                    self._start_reactive_flow(payload)
-                elif kind == "fail":
-                    self._fail_link(payload)
+                event = self._scheduler.pop()
+                self._dispatch(event.kind, event.payload)
             if not self._active and self._arrival_index >= len(self._arrivals):
-                if not any(event[2] in ("activate", "start") for event in self._events):
+                if not self._scheduler.pending(("activate", "start")):
                     break
-        if self.injector is not None:
-            for kind, count in self.injector.log.counts().items():
-                self.metrics.record_fault(kind, count)
-        return self.metrics
+
+    def _completion_is_live(self, event) -> bool:
+        """True when a scheduled completion is current-epoch and the flow
+        is still active (stale ones are discarded, never dispatched)."""
+        flow_id, epoch = event.payload
+        return epoch == self._rate_epoch and flow_id in self._active
+
+    def _loop_event(self) -> None:
+        """Kernel loop: completions are scheduled events, not scans.
+
+        Stale completion events (superseded by a later rate epoch, or for
+        an already-finished flow) are discarded on peek *without advancing
+        time* — extra advance points would change the floating-point
+        draining sequence and break exact agreement with the scan loop.
+        Dispatch order at shared instants matches the scan loop:
+        completions carry :data:`~repro.engine.scheduler.TIER_COMPLETION`
+        so they sort first, arrivals beat all other same-time events.
+        """
+        while True:
+            head = self._scheduler.peek()
+            while (
+                head is not None
+                and head.tier == TIER_COMPLETION
+                and not self._completion_is_live(head)
+            ):
+                self._scheduler.pop()
+                head = self._scheduler.peek()
+            event_time = head.time if head is not None else math.inf
+            arrival_time = self._next_arrival_time()
+            next_time = min(event_time, arrival_time)
+            if math.isinf(next_time):
+                break
+            if next_time > self.config.max_time:
+                self._advance_to(self.config.max_time)
+                break
+            self._advance_to(next_time)
+            completion_first = (
+                head is not None
+                # det: allow(float-eq) -- identity dispatch against min()
+                and head.time == next_time
+                and head.tier == TIER_COMPLETION
+            )
+            # det: allow(float-eq) -- identity dispatch against min()
+            if arrival_time == next_time and not completion_first:
+                self._admit_next_flow()
+            else:
+                event = self._scheduler.pop()
+                if event.kind == "complete":
+                    # Live by construction: stale heads were discarded above.
+                    self._complete_flow(event.payload[0])
+                else:
+                    self._dispatch(event.kind, event.payload)
+            if not self._active and self._arrival_index >= len(self._arrivals):
+                if not self._scheduler.pending(("activate", "start")):
+                    break
+
+    def _dispatch(self, kind: str, payload) -> None:
+        """Route one non-completion event to its handler."""
+        if kind == "epoch":
+            self._run_te_epoch()
+        elif kind == "activate":
+            self._activate_path(payload)
+        elif kind == "start":
+            self._start_reactive_flow(payload)
+        elif kind == "fail":
+            self._fail_link(payload)
 
     # ------------------------------------------------------------------
     # Event handlers

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..engine.clock import Clock, SerialResource
 from ..obs.tracer import get_tracer
 from ..tcam.rule import Rule
 from .installer import RuleInstaller
@@ -91,8 +92,9 @@ class AgentStats:
 class SwitchAgent:
     """Serializes control-plane actions onto a rule installer.
 
-    The agent keeps a virtual clock: an action submitted at time *t* starts
-    at ``max(t, busy_until)`` and finishes after the installer-reported
+    The switch CPU is a kernel :class:`~repro.engine.clock.SerialResource`
+    on the run's shared timeline: an action submitted at time *t* starts at
+    ``max(t, busy_until)`` and finishes after the installer-reported
     latency.  Hermes's background work (Rule Manager migration) is driven by
     :meth:`RuleInstaller.advance_time` before each action and accounted
     separately — per the paper it runs in the background and does not block
@@ -105,6 +107,7 @@ class SwitchAgent:
         name: str = "switch",
         injector=None,
         tracer=None,
+        clock: Optional[Clock] = None,
     ) -> None:
         """Wrap ``installer`` behind a serial control queue.
 
@@ -117,13 +120,18 @@ class SwitchAgent:
             tracer: optional explicit :class:`~repro.obs.tracer.Tracer`;
                 None follows the process-global tracer (a no-op unless one
                 was installed).
+            clock: the shared kernel clock this agent's virtual time is
+                derived from — agents of one co-simulation share one, so
+                their timings live on a single timeline; None gives the
+                agent a private timeline starting at zero.
         """
         self.installer = installer
         self.name = name
         self.injector = injector
         self._tracer = tracer
+        self.clock = clock if clock is not None else Clock()
         self.stats = AgentStats()
-        self._busy_until = 0.0
+        self._cpu = SerialResource(free_at=self.clock.now)
         self._history: List[CompletedAction] = []
         # xid -> prior outcome, for exactly-once redelivery semantics.
         self._xid_cache: Dict[int, object] = {}
@@ -136,7 +144,7 @@ class SwitchAgent:
     @property
     def busy_until(self) -> float:
         """Time at which the control CPU becomes free."""
-        return self._busy_until
+        return self._cpu.free_at
 
     def history(self) -> List[CompletedAction]:
         """Every completed action, in completion order."""
@@ -168,18 +176,23 @@ class SwitchAgent:
             raise AgentDownError(f"{self.name}: agent down at t={at_time:.6f}")
         stall = self.injector.stall_duration(self.name, at_time)
         if stall > 0:
-            self._busy_until = max(self._busy_until, at_time) + stall
+            self._cpu.stall(at_time, stall)
             self.stats.stall_time += stall
             self.stats.stalls += 1
 
-    def submit(self, flow_mod: FlowMod, at_time: float = 0.0) -> CompletedAction:
+    def submit(
+        self, flow_mod: FlowMod, at_time: Optional[float] = None
+    ) -> CompletedAction:
         """Submit one FlowMod at simulation time ``at_time``.
 
+        ``at_time=None`` submits at the shared clock's current instant.
         Returns the completed action with its queueing-inclusive timing.
         A redelivered FlowMod (same xid as an already-applied one) is not
         re-executed: the cached outcome is returned, so controller-side
         retransmissions cannot double-install.
         """
+        if at_time is None:
+            at_time = self.clock.now
         tracer = self.tracer
         if flow_mod.xid is not None and flow_mod.xid in self._xid_cache:
             self.stats.deduplicated += 1
@@ -197,7 +210,7 @@ class SwitchAgent:
         # Manager's own span, not to this action's delta.
         background = self.installer.advance_time(at_time)
         shifts_before = self.installer.shift_count()
-        start = max(at_time, self._busy_until)
+        start = self._cpu.start_time(at_time)
         try:
             result = self.installer.apply(flow_mod)
         except BaseException:
@@ -205,7 +218,7 @@ class SwitchAgent:
             raise
         shifts = self.installer.shift_count() - shifts_before
         finish = start + result.latency
-        self._busy_until = finish
+        self._cpu.occupy_until(finish)
         completed = CompletedAction(
             flow_mod=flow_mod,
             result=result,
@@ -231,14 +244,17 @@ class SwitchAgent:
         return completed
 
     def submit_batch(
-        self, flow_mods: Sequence[FlowMod], at_time: float = 0.0
+        self, flow_mods: Sequence[FlowMod], at_time: Optional[float] = None
     ) -> List[CompletedAction]:
         """Submit a batch arriving together at ``at_time``.
 
+        ``at_time=None`` submits at the shared clock's current instant.
         The installer may reorder or rewrite the batch (ESPRES / Tango);
         results are timed serially in the installer's execution order.
         Batches are deduplicated as a unit by the xid of their first mod.
         """
+        if at_time is None:
+            at_time = self.clock.now
         tracer = self.tracer
         batch_xid = flow_mods[0].xid if flow_mods else None
         if batch_xid is not None and batch_xid in self._xid_cache:
@@ -255,7 +271,7 @@ class SwitchAgent:
         )
         background = self.installer.advance_time(at_time)
         shifts_before = self.installer.shift_count()
-        start = max(at_time, self._busy_until)
+        start = self._cpu.start_time(at_time)
         completed_actions: List[CompletedAction] = []
         try:
             results = self.installer.apply_batch(flow_mods)
@@ -294,7 +310,7 @@ class SwitchAgent:
                     guaranteed=result.used_guaranteed_path,
                 )
             cursor = finish
-        self._busy_until = cursor
+        self._cpu.occupy_until(cursor)
         self._history.extend(completed_actions)
         if batch_xid is not None:
             self._xid_cache[batch_xid] = completed_actions
@@ -312,5 +328,5 @@ class SwitchAgent:
     def __repr__(self) -> str:
         return (
             f"SwitchAgent({self.name!r}, actions={self.stats.actions}, "
-            f"busy_until={self._busy_until:.6f})"
+            f"busy_until={self._cpu.free_at:.6f})"
         )

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..engine.clock import Clock
 from ..faults.injector import FaultInjector
 from ..obs.tracer import get_tracer
 from .agent import AgentDownError, CompletedAction, SwitchAgent
@@ -156,10 +157,14 @@ class NaiveChannel(Channel):
         agent: SwitchAgent,
         injector: Optional[FaultInjector] = None,
         tracer=None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.agent = agent
         self.injector = injector
         self._tracer = tracer
+        # Channels keep virtual time on the run's shared kernel clock; a
+        # standalone channel inherits its agent's timeline.
+        self.clock = clock if clock is not None else agent.clock
         self.stats = ChannelStats()
 
     @property
@@ -272,9 +277,11 @@ class ResilientChannel(Channel):
         rng: Optional[np.random.Generator] = None,
         on_breaker_open: Optional[Callable[[float], None]] = None,
         tracer=None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self.agent = agent
         self.injector = injector
+        self.clock = clock if clock is not None else agent.clock
         self.config = config if config is not None else ChannelConfig()
         self.rng = rng if rng is not None else injector.child_rng(f"channel:{agent.name}")
         self.on_breaker_open = on_breaker_open

@@ -11,7 +11,11 @@ runs alongside the full verifier so the mirror-maintenance path is fuzzed
 for free.
 
 Budget knobs (for CI): ``FUZZ_EXAMPLES`` (default 20 scenarios) and
-``FUZZ_STEPS`` (default 30 operations per scenario).
+``FUZZ_STEPS`` (default 30 operations per scenario).  Setting
+``FUZZ_VIA_AGENT=1`` routes every FlowMod through a kernel-clocked
+:class:`~repro.switchsim.agent.SwitchAgent` instead of calling the
+installer directly, so the agent's queueing/tracing/fault plumbing sits in
+the fuzzed path too.
 """
 
 import os
@@ -23,11 +27,13 @@ from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, 
 from repro.analysis.ap import attach_incremental_checker, violation_fingerprint
 from repro.analysis.verifier import verify_installer
 from repro.core import HermesConfig, HermesInstaller
-from repro.switchsim import DirectInstaller, FlowMod
+from repro.engine import Clock
+from repro.switchsim import DirectInstaller, FlowMod, SwitchAgent
 from repro.tcam import Action, Prefix, Rule, dell_8132f, pica8_p3290
 
 FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "20"))
 FUZZ_STEPS = int(os.environ.get("FUZZ_STEPS", "30"))
+FUZZ_VIA_AGENT = os.environ.get("FUZZ_VIA_AGENT") == "1"
 
 
 class HermesFuzz(RuleBasedStateMachine):
@@ -44,9 +50,26 @@ class HermesFuzz(RuleBasedStateMachine):
         )
         self.oracle = DirectInstaller(dell_8132f())
         self.checker = attach_incremental_checker(self.hermes)
+        self.agent = (
+            SwitchAgent(self.hermes, name="fuzz-switch", clock=Clock())
+            if FUZZ_VIA_AGENT
+            else None
+        )
         self.time = 0.0
         self.live = []  # (hermes_rule, oracle_rule) pairs
         self.used_priorities = set()
+
+    def _apply_hermes(self, flow_mod):
+        """Apply one FlowMod at ``self.time``, via the agent when asked.
+
+        The agent calls ``advance_time`` itself before executing, so the
+        two paths keep identical installer-visible timelines.
+        """
+        if self.agent is not None:
+            self.agent.submit(flow_mod, at_time=self.time)
+        else:
+            self.hermes.advance_time(self.time)
+            self.hermes.apply(flow_mod)
 
     # -- operations ----------------------------------------------------
     @rule(
@@ -66,10 +89,9 @@ class HermesFuzz(RuleBasedStateMachine):
         network = ((10 << 24) | (selector << (32 - length))) & mask
         prefix = Prefix(network, length)
         self.time += 0.005
-        self.hermes.advance_time(self.time)
         h_rule = Rule.from_prefix(prefix, priority, Action.output(port))
         o_rule = Rule.from_prefix(prefix, priority, Action.output(port))
-        self.hermes.apply(FlowMod.add(h_rule))
+        self._apply_hermes(FlowMod.add(h_rule))
         self.oracle.apply(FlowMod.add(o_rule))
         self.live.append((h_rule, o_rule))
 
@@ -78,8 +100,7 @@ class HermesFuzz(RuleBasedStateMachine):
     def delete_rule(self, selector):
         h_rule, o_rule = self.live.pop(selector % len(self.live))
         self.time += 0.005
-        self.hermes.advance_time(self.time)
-        self.hermes.apply(FlowMod.delete(h_rule.rule_id))
+        self._apply_hermes(FlowMod.delete(h_rule.rule_id))
         self.oracle.apply(FlowMod.delete(o_rule.rule_id))
 
     @precondition(lambda self: self.live)
@@ -91,8 +112,7 @@ class HermesFuzz(RuleBasedStateMachine):
         index = selector % len(self.live)
         h_rule, o_rule = self.live[index]
         self.time += 0.005
-        self.hermes.advance_time(self.time)
-        self.hermes.apply(FlowMod.modify(h_rule.rule_id, action=Action.output(port)))
+        self._apply_hermes(FlowMod.modify(h_rule.rule_id, action=Action.output(port)))
         self.oracle.apply(FlowMod.modify(o_rule.rule_id, action=Action.output(port)))
 
     @rule()

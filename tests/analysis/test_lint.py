@@ -5,6 +5,7 @@ import os
 import textwrap
 
 from repro.analysis.lint import (
+    ADHOC_EVENT_LOOP,
     BARE_PRAGMA,
     FLOAT_EQ,
     TRACER_WALL_CLOCK,
@@ -23,6 +24,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
 FIXTURE = os.path.join(HERE, "fixtures", "nondeterminism_bad.py")
 ENV_FIXTURE = os.path.join(HERE, "fixtures", "env_ordering_bad.py")
+LOOP_FIXTURE = os.path.join(HERE, "fixtures", "adhoc_event_loop_bad.py")
 
 
 def check(code):
@@ -169,6 +171,68 @@ class TestTracerWallClock:
             """
         )
         assert findings == []
+
+
+class TestAdhocEventLoop:
+    def test_heapq_import_flagged(self):
+        assert rules_of(check("import heapq\n")) == [ADHOC_EVENT_LOOP]
+
+    def test_heapq_from_import_flagged(self):
+        assert rules_of(check("from heapq import heappush\n")) == [
+            ADHOC_EVENT_LOOP
+        ]
+
+    def test_heapq_call_flagged(self):
+        findings = check("import heapq\nheapq.heappush(events, item)\n")
+        assert rules_of(findings) == [ADHOC_EVENT_LOOP] * 2
+
+    def test_imported_heapq_name_call_flagged(self):
+        findings = check("from heapq import heappop\nx = heappop(events)\n")
+        assert rules_of(findings) == [ADHOC_EVENT_LOOP] * 2
+
+    def test_now_attribute_assignment_flagged(self):
+        assert rules_of(check("self.now = 3.5\n")) == [ADHOC_EVENT_LOOP]
+
+    def test_busy_until_aug_assignment_flagged(self):
+        assert rules_of(check("agent._busy_until += stall\n")) == [
+            ADHOC_EVENT_LOOP
+        ]
+
+    def test_annotated_assignment_flagged(self):
+        assert rules_of(check("self._now: float = 0.0\n")) == [
+            ADHOC_EVENT_LOOP
+        ]
+
+    def test_local_variable_named_now_is_clean(self):
+        # Only *attributes* carry state across events; a local cursor is
+        # fine (the resilient channel's retry loop uses one).
+        assert check("now = start\nnow += backoff\n") == []
+
+    def test_reading_time_attributes_is_clean(self):
+        assert check("delay = agent.busy_until - clock.now\n") == []
+
+    def test_engine_files_are_exempt(self):
+        source = "import heapq\nself._now = 0.0\n"
+        assert lint_source(source, "src/repro/engine/scheduler.py") == []
+        assert rules_of(lint_source(source, "src/repro/other.py")) == [
+            ADHOC_EVENT_LOOP,
+            ADHOC_EVENT_LOOP,
+        ]
+
+    def test_pragma_suppresses(self):
+        code = (
+            "import heapq  # det: allow(adhoc-event-loop) -- sorts a "
+            "static list, no event loop\n"
+        )
+        assert check(code) == []
+
+    def test_fixture_trips_only_this_rule(self):
+        findings = lint_file(LOOP_FIXTURE)
+        assert set(rules_of(findings)) == {ADHOC_EVENT_LOOP}
+        # imports (2), heappush, heappop call, now= (init), now= (step),
+        # _busy_until= (init), _busy_until+= — and the pragma'd heapify
+        # stays suppressed.
+        assert len(findings) == 8
 
 
 class TestPragmas:

@@ -1,0 +1,171 @@
+"""Tests for ``completion_mode="event"`` — kernel-scheduled completions.
+
+Scan mode is the parity reference (byte-identical to the pre-kernel
+simulator); event mode replaces the per-iteration O(active flows) ETA scan
+with one scheduled completion per rate epoch.  The two agree *exactly*
+whenever every dispatched event recomputes rates — i.e. pure
+arrival/completion workloads — because then the scheduled ETA and the
+scanned ETA are the same float expression.  With interleaved
+non-recomputing events (TE epochs) completions can move by rounding ulps,
+so there event mode is held to determinism, not byte-parity with scan.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_installer
+from repro.simulator import Simulation, SimulationConfig, TeAppConfig
+from repro.tcam import get_switch_model
+from repro.topology import FatTreeSpec, build_fat_tree, hosts
+from repro.traffic import flows_of, generate_jobs
+
+
+def _workload(job_count=8, seed=21):
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    flows = flows_of(
+        generate_jobs(
+            hosts(graph),
+            job_count=job_count,
+            arrival_rate=6.0,
+            rng=np.random.default_rng(seed),
+        )
+    )
+    return graph, flows
+
+
+def _run(config):
+    graph, flows = _workload()
+    timing = get_switch_model("pica8-p3290")
+    factory = lambda name: make_installer("naive", timing)
+    simulation = Simulation(graph, flows, factory, config)
+    metrics = simulation.run()
+    return metrics, simulation
+
+
+def _no_te_config(completion_mode):
+    # TE epoch far beyond the workload: no epochs fire, so every
+    # dispatched event (arrival or completion) recomputes rates.
+    return SimulationConfig(
+        te=TeAppConfig(epoch=1e6),
+        baseline_occupancy=0,
+        completion_mode=completion_mode,
+    )
+
+
+class TestConfigValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="completion_mode"):
+            SimulationConfig(completion_mode="magic")
+
+    def test_default_is_scan(self):
+        assert SimulationConfig().completion_mode == "scan"
+
+
+class TestScanEventEquality:
+    def test_pure_arrival_completion_workload_is_byte_identical(self):
+        scan_metrics, _ = _run(_no_te_config("scan"))
+        event_metrics, _ = _run(_no_te_config("event"))
+        assert event_metrics.fcts() == scan_metrics.fcts()
+        # Job ids come from a process-global counter, so the second run's
+        # keys are shifted; the completion times themselves must be equal.
+        assert sorted(event_metrics.jcts().values()) == sorted(
+            scan_metrics.jcts().values()
+        )
+        assert event_metrics.rits() == scan_metrics.rits()
+
+    def test_event_mode_skips_stale_completions(self):
+        # Every arrival recomputes rates and re-arms the completion event,
+        # so all but the last epoch's events go stale — the run must still
+        # complete every flow exactly once.
+        scan_metrics, _ = _run(_no_te_config("scan"))
+        event_metrics, simulation = _run(_no_te_config("event"))
+        assert len(event_metrics.fcts()) == len(scan_metrics.fcts())
+        assert not simulation._active
+
+
+class TestEventModeWithTe:
+    def test_te_workload_matches_scan_within_tolerance(self):
+        config_scan = SimulationConfig(
+            te=TeAppConfig(epoch=0.25),
+            baseline_occupancy=50,
+            max_time=3.0,
+            completion_mode="scan",
+        )
+        config_event = SimulationConfig(
+            te=TeAppConfig(epoch=0.25),
+            baseline_occupancy=50,
+            max_time=3.0,
+            completion_mode="event",
+        )
+        scan_metrics, _ = _run(config_scan)
+        event_metrics, _ = _run(config_event)
+        assert len(event_metrics.fcts()) == len(scan_metrics.fcts())
+        assert np.allclose(
+            sorted(event_metrics.fcts()), sorted(scan_metrics.fcts())
+        )
+
+
+_EVENT_DIGEST_SCRIPT = r"""
+import hashlib
+import json
+
+import numpy as np
+
+from repro.baselines import make_installer
+from repro.experiments.common import default_hermes_config
+from repro.simulator import Simulation, SimulationConfig, TeAppConfig
+from repro.tcam import get_switch_model
+from repro.topology import FatTreeSpec, build_fat_tree, hosts
+from repro.traffic import flows_of, generate_jobs
+
+graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+flows = flows_of(
+    generate_jobs(
+        hosts(graph), job_count=6, arrival_rate=6.0,
+        rng=np.random.default_rng(17),
+    )
+)
+config = SimulationConfig(
+    te=TeAppConfig(epoch=0.25),
+    baseline_occupancy=100,
+    max_time=3.0,
+    completion_mode="event",
+)
+timing = get_switch_model("pica8-p3290")
+hermes_config = default_hermes_config()
+factory = lambda name: make_installer(
+    "hermes", timing, hermes_config=hermes_config
+)
+metrics = Simulation(graph, flows, factory, config).run()
+payload = json.dumps(
+    [metrics.rits(), metrics.fcts(), sorted(metrics.jcts().items())]
+).encode()
+print(hashlib.sha256(payload).hexdigest())
+"""
+
+
+def _event_digest() -> str:
+    env = dict(os.environ)
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = (
+        os.path.join(root, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", _EVENT_DIGEST_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+class TestEventModeDeterminism:
+    def test_cross_process_digest_identical(self):
+        assert _event_digest() == _event_digest()

@@ -1,0 +1,240 @@
+"""Unit tests for the discrete-event kernel (repro.engine).
+
+The kernel's contract is deterministic ordering: events dispatch in
+``(time, tier, seq)`` order, named RNG streams reproduce the legacy
+closure-counter seed derivation byte-for-byte, and sweep results merge in
+task order no matter how many workers ran them.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine import (
+    TIER_COMPLETION,
+    Clock,
+    EventScheduler,
+    RngStreams,
+    SerialResource,
+    SweepRunner,
+    SweepTask,
+    child_seed,
+    write_bench,
+)
+
+
+class TestClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = Clock()
+        assert clock.now == 0.0
+        assert clock.advance_to(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advancing_to_now_is_a_noop(self):
+        clock = Clock(start=1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_backwards_raises(self):
+        clock = Clock()
+        clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.999)
+
+
+class TestSerialResource:
+    def test_work_at_idle_starts_immediately(self):
+        cpu = SerialResource()
+        assert cpu.start_time(3.0) == 3.0
+        assert cpu.acquire(3.0, duration=2.0) == 3.0
+        assert cpu.free_at == 5.0
+
+    def test_work_queues_behind_busy_horizon(self):
+        cpu = SerialResource()
+        cpu.acquire(0.0, duration=4.0)
+        assert cpu.start_time(1.0) == 4.0
+        assert cpu.acquire(1.0, duration=1.0) == 4.0
+        assert cpu.free_at == 5.0
+
+    def test_occupy_until_never_moves_backwards(self):
+        cpu = SerialResource()
+        cpu.occupy_until(10.0)
+        cpu.occupy_until(7.0)
+        assert cpu.free_at == 10.0
+
+    def test_stall_matches_injector_semantics(self):
+        # The fault injector's CPU stall: max(free_at, at_time) + duration.
+        cpu = SerialResource()
+        cpu.stall(2.0, duration=1.0)
+        assert cpu.free_at == 3.0
+        cpu.stall(1.0, duration=0.5)  # already busy past 1.0
+        assert cpu.free_at == 3.5
+
+
+class TestEventScheduler:
+    def test_time_order(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(3.0, "c")
+        scheduler.schedule(1.0, "a")
+        scheduler.schedule(2.0, "b")
+        assert [scheduler.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_ties_break_by_scheduling_order(self):
+        # The legacy simulator heap was (time, seq, ...): same-instant
+        # events fire in the order they were scheduled.
+        scheduler = EventScheduler()
+        for index in range(10):
+            scheduler.schedule(1.0, f"event-{index}")
+        assert [scheduler.pop().kind for _ in range(10)] == [
+            f"event-{index}" for index in range(10)
+        ]
+
+    def test_completion_tier_beats_same_time_default(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, "epoch")
+        scheduler.schedule(1.0, "complete", tier=TIER_COMPLETION)
+        assert scheduler.pop().kind == "complete"
+        assert scheduler.pop().kind == "epoch"
+
+    def test_scheduling_into_the_past_raises(self):
+        scheduler = EventScheduler()
+        scheduler.clock.advance_to(5.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule(4.0, "late")
+        scheduler.schedule(5.0, "now-is-fine")
+
+    def test_peek_pop_next_time_pending(self):
+        scheduler = EventScheduler()
+        assert scheduler.peek() is None
+        assert math.isinf(scheduler.next_time())
+        assert not scheduler
+        scheduler.schedule(2.0, "x", payload=("p",))
+        assert scheduler.peek().kind == "x"
+        assert scheduler.next_time() == 2.0
+        assert scheduler.pending(("x", "y"))
+        assert not scheduler.pending(("y",))
+        event = scheduler.pop()
+        assert event.payload == ("p",)
+        assert len(scheduler) == 0
+
+    def test_pop_does_not_advance_clock(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(2.0, "x")
+        scheduler.pop()
+        assert scheduler.clock.now == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["switch-a", "switch-b"]),
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            max_size=40,
+        )
+    )
+    def test_interleaving_two_timelines_never_reorders_ties(self, entries):
+        # Two switch timelines scheduled into one kernel queue: events
+        # come out time-sorted, and same-timestamp events preserve
+        # scheduling order regardless of which timeline they belong to.
+        scheduler = EventScheduler()
+        for index, (switch, time) in enumerate(entries):
+            scheduler.schedule(time, switch, payload=index)
+        popped = [scheduler.pop() for _ in range(len(entries))]
+        assert [e.time for e in popped] == sorted(e.time for e in popped)
+        for first, second in zip(popped, popped[1:]):
+            if first.time == second.time:
+                assert first.payload < second.payload
+
+
+class TestRngStreams:
+    def test_matches_legacy_closure_counter_derivation(self):
+        # The n-th distinct stream must be default_rng(seed + n) — the
+        # exact sequence the experiment layer's counter hack produced.
+        streams = RngStreams(100)
+        for n, name in enumerate(["installer:s1", "installer:s2", "x"], 1):
+            expected = np.random.default_rng(100 + n)
+            assert streams.stream(name).random() == expected.random()
+
+    def test_streams_are_cached_by_name(self):
+        streams = RngStreams(7)
+        assert streams.stream("a") is streams.stream("a")
+        assert streams.ordinal("a") == 1
+        assert streams.ordinal("b") == 2
+        assert streams.names() == ["a", "b"]
+
+    def test_spawn_gives_decorrelated_deterministic_children(self):
+        parent = RngStreams(5)
+        child_a = parent.spawn(0)
+        child_b = parent.spawn(1)
+        assert child_a.seed == child_seed(5, 0)
+        assert child_a.seed != child_b.seed
+        assert parent.spawn(0).seed == child_a.seed
+
+    def test_child_seed_is_stable_and_non_negative(self):
+        assert child_seed(5, 0) == child_seed(5, 0)
+        assert child_seed(5, 0) != child_seed(5, 1)
+        assert child_seed(5, 0) >= 0
+
+
+def _square(value):
+    return value * value
+
+
+def _fail(value):
+    raise RuntimeError(f"boom {value}")
+
+
+class TestSweepRunner:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=0)
+
+    def test_serial_map_is_a_plain_loop(self):
+        assert SweepRunner().map(_square, [(2,), (3,), (4,)]) == [4, 9, 16]
+
+    def test_parallel_map_merges_in_task_order(self):
+        serial = SweepRunner(workers=1).map(_square, [(n,) for n in range(8)])
+        parallel = SweepRunner(workers=2).map(
+            _square, [(n,) for n in range(8)]
+        )
+        assert parallel == serial
+
+    def test_run_reports_labels_workers_and_timing(self):
+        outcome = SweepRunner(workers=1).run(
+            [
+                SweepTask(func=_square, args=(3,), label="three"),
+                SweepTask(func=_square, args=(4,), label="four"),
+            ]
+        )
+        assert outcome.results == [9, 16]
+        assert outcome.labels == ["three", "four"]
+        assert outcome.workers == 1
+        assert outcome.elapsed_seconds >= 0.0
+
+    def test_task_errors_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(workers=1).map(_fail, [(1,)])
+        with pytest.raises(RuntimeError, match="boom"):
+            SweepRunner(workers=2).map(_fail, [(1,), (2,)])
+
+
+class TestWriteBench:
+    def test_writes_format_tagged_json(self, tmp_path):
+        target = tmp_path / "results" / "BENCH_engine.json"
+        path = write_bench(
+            str(target), "hermes-engine-bench/1", {"rows": [1, 2]}
+        )
+        import json
+
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["format"] == "hermes-engine-bench/1"
+        assert document["rows"] == [1, 2]

@@ -1,0 +1,248 @@
+"""Behavior-preservation tests for the kernel re-seat.
+
+The digests below were captured at the pre-refactor seed HEAD (the legacy
+``Simulation`` with its private heap and per-layer ``now`` cursors).  The
+kernel-backed simulator must reproduce them byte-for-byte — metrics AND
+golden trace — with zero tolerance.  Each scenario runs in a fresh
+subprocess because rule ids come from a process-global counter.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+# sha256 digests captured from the pre-kernel simulator (seed HEAD).
+FIG01_DIGEST = "ad529ed5085c6c101dd7cb84eb3e514d8b7ba6f74f6110f7d8b0893178e9ea1b"
+FIG08_DIGEST = "48c45e3e7ef0a0d64e99b0835def7af97c0711ef10e7c3d2048caa5dffeb44d8"
+CHAOS_RESULT_DIGEST = (
+    "acbdc2d3d7e6aa00fe02c53b73b6aa8213ea634e2e4d8f3ee09eab7b8575c244"
+)
+CHAOS_TRACE_DIGEST = (
+    "f9af0d1c220df4e67fdd252413ce0f9e8cc0b32694975bedfd5256ca55adaddb"
+)
+
+_SCENARIO_SCRIPT = r"""
+import hashlib
+import json
+import sys
+
+import numpy as np
+
+
+def _digest(metrics) -> str:
+    payload = json.dumps(
+        [metrics.rits(), metrics.fcts(), sorted(metrics.jcts().items())]
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def fig01():
+    from repro.experiments.common import (
+        WorkloadScale,
+        default_hermes_config,
+        facebook_workload,
+        run_te_simulation,
+        te_simulation_config,
+    )
+
+    scale = WorkloadScale(job_count=10)
+    graph, flows, _short, _long = facebook_workload(scale)
+    config = te_simulation_config(scale)
+    naive, _ = run_te_simulation(
+        graph, flows, "naive", "pica8-p3290", config=config
+    )
+    hermes, _ = run_te_simulation(
+        graph,
+        flows,
+        "hermes",
+        "pica8-p3290",
+        hermes_config=default_hermes_config(),
+        config=config,
+    )
+    return hashlib.sha256(
+        (_digest(naive) + _digest(hermes)).encode()
+    ).hexdigest(), None
+
+
+def fig08():
+    from repro.experiments.common import (
+        WorkloadScale,
+        default_hermes_config,
+        isp_workload,
+        run_te_simulation,
+        te_simulation_config,
+    )
+
+    scale = WorkloadScale(isp_flow_duration=3.0)
+    graph, flows = isp_workload("geant", scale)
+    config = te_simulation_config(scale, control_rtt=10e-3)
+    metrics, _ = run_te_simulation(
+        graph,
+        flows,
+        "hermes",
+        "pica8-p3290",
+        hermes_config=default_hermes_config(),
+        config=config,
+    )
+    return _digest(metrics), None
+
+
+def chaos():
+    from repro.baselines import make_installer
+    from repro.experiments.common import default_hermes_config
+    from repro.faults import FaultInjector, FaultPlan, FlowModFault
+    from repro.obs import RecordingTracer, trace_lines, use_tracer
+    from repro.simulator import Simulation, SimulationConfig, TeAppConfig
+    from repro.switchsim import ChannelConfig
+    from repro.tcam import get_switch_model
+    from repro.topology import FatTreeSpec, build_fat_tree, hosts
+    from repro.traffic import flows_of, generate_jobs
+
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    flows = flows_of(
+        generate_jobs(
+            hosts(graph), job_count=4, arrival_rate=6.0,
+            rng=np.random.default_rng(13),
+        )
+    )
+    plan = FaultPlan(flowmod=FlowModFault(drop=0.1, ack_loss_fraction=0.3))
+    injector = FaultInjector(plan=plan, seed=13)
+    config = SimulationConfig(
+        te=TeAppConfig(epoch=0.25),
+        baseline_occupancy=200,
+        max_time=2.5,
+        channel="resilient",
+        channel_config=ChannelConfig(),
+        fault_plan=plan,
+        fault_seed=13,
+    )
+    timing = get_switch_model("pica8-p3290")
+    hermes_config = default_hermes_config()
+    factory = lambda name: make_installer(
+        "hermes", timing, hermes_config=hermes_config, injector=injector
+    )
+    tracer = RecordingTracer(meta={"scenario": "engine-parity"})
+    with use_tracer(tracer):
+        simulation = Simulation(
+            graph, flows, factory, config, injector=injector
+        )
+        metrics = simulation.run()
+    trace_payload = "\n".join(trace_lines(tracer)).encode()
+    return _digest(metrics), hashlib.sha256(trace_payload).hexdigest()
+
+
+name = sys.argv[1]
+result, trace = {"fig01": fig01, "fig08": fig08, "chaos": chaos}[name]()
+print(json.dumps({"result": result, "trace": trace}))
+"""
+
+_EVENT_ORDER_SCRIPT = r"""
+import json
+
+from repro.engine import TIER_COMPLETION, EventScheduler, RngStreams
+
+scheduler = EventScheduler()
+rng = RngStreams(42).stream("event-order")
+for index in range(200):
+    time = round(float(rng.integers(0, 50)) * 0.25, 6)
+    tier = TIER_COMPLETION if index % 7 == 0 else 1
+    scheduler.schedule(time, f"kind-{index % 5}", payload=index, tier=tier)
+lines = []
+while scheduler:
+    event = scheduler.pop()
+    scheduler.clock.advance_to(event.time)
+    lines.append(
+        json.dumps(
+            {
+                "time": event.time,
+                "tier": event.tier,
+                "kind": event.kind,
+                "payload": event.payload,
+            },
+            sort_keys=True,
+        )
+    )
+print("\n".join(lines))
+"""
+
+
+def _run_script(script: str, *args: str) -> str:
+    env = dict(os.environ)
+    root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = (
+        os.path.join(root, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script, *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout.strip()
+
+
+def _scenario_digests(name: str) -> dict:
+    return json.loads(_run_script(_SCENARIO_SCRIPT, name))
+
+
+class TestPinnedDigests:
+    """The kernel-backed simulator vs. the pre-refactor captures."""
+
+    def test_fig01_byte_identical_to_seed(self):
+        assert _scenario_digests("fig01")["result"] == FIG01_DIGEST
+
+    def test_fig08_byte_identical_to_seed(self):
+        assert _scenario_digests("fig08")["result"] == FIG08_DIGEST
+
+    def test_traced_chaos_run_byte_identical_to_seed(self):
+        digests = _scenario_digests("chaos")
+        assert digests["result"] == CHAOS_RESULT_DIGEST
+        assert digests["trace"] == CHAOS_TRACE_DIGEST
+
+    def test_chaos_cross_process_determinism(self):
+        # Two fresh interpreters, identical digests — the trace digest
+        # covers every span/event/sample the run emitted.
+        assert _scenario_digests("chaos") == _scenario_digests("chaos")
+
+
+class TestGoldenEventOrder:
+    def test_event_order_identical_across_interpreters(self):
+        first = _run_script(_EVENT_ORDER_SCRIPT)
+        second = _run_script(_EVENT_ORDER_SCRIPT)
+        assert first == second
+        records = [json.loads(line) for line in first.splitlines()]
+        assert len(records) == 200
+        # Order is (time, tier, seq): non-decreasing time, tiered ties,
+        # and scheduling order within (time, tier).
+        keys = [(r["time"], r["tier"], r["payload"]) for r in records]
+        grouped = sorted(keys, key=lambda k: (k[0], k[1]))
+        assert keys == grouped
+        for (t1, tier1, seq1), (t2, tier2, seq2) in zip(keys, keys[1:]):
+            if (t1, tier1) == (t2, tier2):
+                assert seq1 < seq2
+
+    def test_event_order_digest_is_stable(self):
+        payload = _run_script(_EVENT_ORDER_SCRIPT).encode()
+        digest = hashlib.sha256(payload).hexdigest()
+        assert digest == hashlib.sha256(
+            _run_script(_EVENT_ORDER_SCRIPT).encode()
+        ).hexdigest()
+
+
+@pytest.mark.parametrize("workers", [2])
+class TestSweepParity:
+    def test_sensitivity_parallel_matches_serial(self, workers):
+        from repro.experiments.sensitivity import SensitivityConfig, run
+
+        config = SensitivityConfig(duration=0.3)
+        serial = run(config, workers=1)
+        parallel = run(config, workers=workers)
+        assert parallel.rows == serial.rows
+        assert parallel.headers == serial.headers

@@ -9,6 +9,7 @@ import repro.analysis
 import repro.baselines
 import repro.bgp
 import repro.core
+import repro.engine
 import repro.experiments
 import repro.simulator
 import repro.switchsim
@@ -22,6 +23,7 @@ PACKAGES = [
     repro.baselines,
     repro.bgp,
     repro.core,
+    repro.engine,
     repro.simulator,
     repro.switchsim,
     repro.tcam,
