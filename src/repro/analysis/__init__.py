@@ -4,8 +4,11 @@ Two halves live here.  The *measurement* half (stats, replication, result
 tables) post-processes experiment output.  The *static-analysis* half
 ([docs/analysis.md](../../../docs/analysis.md)) checks the system itself:
 the ruleset verifier proves or refutes the shadow+main ≡ monolithic
-invariant over table snapshots, and the determinism lint keeps
-nondeterminism hazards out of the simulation paths.
+invariant over table snapshots, the determinism lint keeps
+nondeterminism hazards out of the simulation paths, and SimRace — the
+dynamic :class:`RaceSanitizer` plus the project-wide pass in
+:mod:`repro.analysis.project` — finds schedule-order races: outcomes
+that depend on the kernel's insertion-order ``seq`` tie-break.
 """
 
 from .ap import (
@@ -24,6 +27,16 @@ from .lint import (
     lint_file,
     lint_paths,
     lint_source,
+)
+from .pragmas import PragmaIndex, clear_pragma_cache, file_pragmas
+from .project import AMBIGUOUS_TIER, SHARED_STATE_MUTATION, lint_project
+from .races import (
+    SCHEDULE_ORDER_RACE,
+    RaceReport,
+    RaceSanitizer,
+    RaceWitness,
+    run_fixture,
+    run_scenario,
 )
 from .replication import SeedSweep, replicate, replicate_many
 from .snapshot import (
@@ -59,16 +72,25 @@ from .verifier import (
 from .violations import Violation
 
 __all__ = [
+    "AMBIGUOUS_TIER",
     "ENGINES",
+    "SCHEDULE_ORDER_RACE",
+    "SHARED_STATE_MUTATION",
     "AtomIndex",
     "ExperimentResult",
     "IncrementalPairChecker",
     "LintFinding",
+    "PragmaIndex",
+    "RaceReport",
+    "RaceSanitizer",
+    "RaceWitness",
     "SeedSweep",
     "SnapshotDelta",
     "TableSnapshot",
     "Violation",
     "apply_fixes",
+    "clear_pragma_cache",
+    "file_pragmas",
     "attach_incremental_checker",
     "build_universe",
     "cdf_at",
@@ -86,6 +108,7 @@ __all__ = [
     "increase_ratios",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
     "load_snapshot",
     "lookup_order",
@@ -95,6 +118,8 @@ __all__ = [
     "render_table",
     "replicate",
     "replicate_many",
+    "run_fixture",
+    "run_scenario",
     "semantic_diff",
     "snapshot_installer",
     "snapshot_tables",

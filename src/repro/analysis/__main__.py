@@ -1,11 +1,20 @@
 """Command-line front end of the static-analysis layer.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.analysis verify SNAPSHOT.json     # check a table snapshot
     python -m repro.analysis verify OLD.json NEW.json # localize a corruption
     python -m repro.analysis lint [--fix] [PATH ...]  # determinism lint
     python -m repro.analysis scenario [--out F]       # canned churn + verify
+    python -m repro.analysis races SCENARIO           # schedule-order races
+
+``lint`` runs both the per-file determinism lint and the project-wide
+schedule-order pass (``shared-state-mutation`` / ``ambiguous-tier``) over
+the same paths.  ``races`` runs a canned scenario (``demo``, ``fig01``,
+``fig08``, ``chaos``) — or, given a ``.py`` path, a fixture module
+exposing ``run(sanitizer)`` — under the dynamic race sanitizer and
+reports every schedule-order race with its witness pair; exit 1 when any
+race is found.
 
 ``verify`` and ``scenario`` accept ``--engine {ap,symbolic}`` (default
 ``ap``, the atomic-predicate engine) and ``--cross-check``, which runs
@@ -35,6 +44,7 @@ import numpy as np
 
 from .ap import violation_fingerprint
 from .lint import fix_paths, format_findings, lint_paths
+from .project import lint_project
 from .snapshot import (
     diff_snapshots,
     dump_snapshot,
@@ -281,6 +291,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="rewrite provably-safe findings by inserting sorted(...)",
     )
+    lint_cmd.add_argument(
+        "--no-project",
+        action="store_true",
+        help="skip the project-wide pass (shared-state-mutation, ambiguous-tier)",
+    )
+
+    races_cmd = commands.add_parser(
+        "races",
+        help="run a scenario under the schedule-order race sanitizer",
+    )
+    races_cmd.add_argument(
+        "scenario",
+        help=(
+            "demo, fig01, fig08, or chaos — or a path to a .py fixture "
+            "module exposing run(sanitizer)"
+        ),
+    )
 
     scenario_cmd = commands.add_parser(
         "scenario",
@@ -318,10 +345,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"{path}: {count} fix(es) applied")
             print(f"{sum(count for _, count in fixed)} fix(es) in total")
         findings = lint_paths(args.paths)
+        if not args.no_project:
+            findings = findings + lint_project(args.paths)
         if findings:
             print(format_findings(findings))
         print(f"{len(findings)} finding(s) in {', '.join(args.paths)}")
         return 1 if findings else 0
+
+    if args.command == "races":
+        from .races import RaceSanitizer, run_fixture, run_scenario
+
+        sanitizer = RaceSanitizer()
+        if args.scenario.endswith(".py"):
+            run_fixture(args.scenario, sanitizer)
+        else:
+            try:
+                sanitizer, _metrics = run_scenario(args.scenario, sanitizer)
+            except ValueError as error:
+                print(error, file=sys.stderr)
+                return 2
+        for race in sanitizer.races:
+            print(race)
+        for race in sanitizer.suppressed:
+            print(
+                f"suppressed: {race.key!r} at t={race.time:.6f} "
+                f"({race.first.kind} vs {race.second.kind})"
+            )
+        summary = (
+            f"{len(sanitizer.races)} race(s) over "
+            f"{sanitizer.events_seen} dispatched event(s)"
+        )
+        if sanitizer.suppressed:
+            summary += f", {len(sanitizer.suppressed)} suppressed"
+        print(summary)
+        return 1 if sanitizer.races else 0
 
     if args.command == "verify":
         if len(args.snapshots) > 2:

@@ -81,9 +81,10 @@ from __future__ import annotations
 
 import ast
 import os
-import re
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .pragmas import DET, PragmaIndex
 
 UNSEEDED_RANDOM = "unseeded-random"
 WALL_CLOCK = "wall-clock"
@@ -101,10 +102,6 @@ ALL_RULES = (
     TRACER_WALL_CLOCK,
     ADHOC_EVENT_LOOP,
     BARE_PRAGMA,
-)
-
-_PRAGMA_RE = re.compile(
-    r"#\s*det:\s*allow\(([^)]*)\)\s*(?:--|—)?\s*(\S?.*)$"
 )
 
 _WALL_CLOCK_TIME_FUNCS = {
@@ -592,50 +589,36 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def _parse_pragmas(
-    lines: Sequence[str], path: str
-) -> tuple[Dict[int, Set[str]], List[LintFinding]]:
-    """Extract per-line suppressions and flag unjustified pragmas."""
-    allowed: Dict[int, Set[str]] = {}
-    findings: List[LintFinding] = []
-    for number, line in enumerate(lines, start=1):
-        match = _PRAGMA_RE.search(line)
-        if match is None:
-            continue
-        rules = {rule.strip() for rule in match.group(1).split(",") if rule.strip()}
-        justification = match.group(2).strip()
-        if not justification:
-            findings.append(
-                LintFinding(
-                    rule=BARE_PRAGMA,
-                    path=path,
-                    line=number,
-                    col=line.index("#"),
-                    message=(
-                        "suppression pragma without a justification; write "
-                        "'# det: allow(rule) -- why this is safe'"
-                    ),
-                    text=line.strip(),
-                )
-            )
-        allowed.setdefault(number, set()).update(rules)
-        if line.lstrip().startswith("#"):
-            # A standalone pragma comment covers the line below it.
-            allowed.setdefault(number + 1, set()).update(rules)
-    return allowed, findings
+def pragma_findings(pragmas: PragmaIndex, path: str) -> List[LintFinding]:
+    """``bare-pragma`` findings for every unjustified pragma in the index."""
+    return [
+        LintFinding(
+            rule=BARE_PRAGMA,
+            path=path,
+            line=line,
+            col=col,
+            message=(
+                "suppression pragma without a justification; write "
+                f"'# {pragmas.namespace}: allow(rule) -- why this is safe'"
+            ),
+            text=text,
+        )
+        for line, col, text in pragmas.unjustified
+    ]
 
 
 def lint_source(source: str, path: str = "<string>") -> List[LintFinding]:
     """Lint one Python source string; returns findings in line order."""
     lines = source.splitlines()
-    allowed, findings = _parse_pragmas(lines, path)
+    pragmas = PragmaIndex(DET, lines)
+    findings = pragma_findings(pragmas, path)
     tree = ast.parse(source, filename=path)
     visitor = _DeterminismVisitor(path, lines)
     visitor.visit(tree)
     findings.extend(
         finding
         for finding in visitor.findings
-        if finding.rule not in allowed.get(finding.line, set())
+        if not pragmas.allows(finding.line, finding.rule)
     )
     return sorted(findings, key=lambda f: (f.line, f.col, f.rule))
 

@@ -1,0 +1,100 @@
+"""Suppression pragmas, parsed once and shared by every analysis family.
+
+Two pragma namespaces live in the tree:
+
+* ``# det: allow(rule, ...) -- why`` — the determinism lint's per-line
+  suppressions (:mod:`repro.analysis.lint` and the project-wide pass in
+  :mod:`repro.analysis.project`).
+* ``# race: allow(rule, ...) -- why`` — the schedule-order race
+  sanitizer's call-site suppressions (:mod:`repro.analysis.races`): a
+  ``schedule()`` call carrying one declares that same-instant ordering
+  against its peers is intentional and pinned by tests.
+
+Both follow the same grammar: the pragma names one or more rules, must
+justify itself after ``--`` (an unjustified pragma is itself a finding),
+applies to its own line, and — when it is a standalone comment line —
+also to the line directly below.  This module is the single parser for
+that grammar; rule families consume a :class:`PragmaIndex` instead of
+re-walking comment lines themselves.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+#: The determinism-lint namespace (``# det: allow(...)``).
+DET = "det"
+#: The race-sanitizer namespace (``# race: allow(...)``).
+RACE = "race"
+
+
+def pragma_pattern(namespace: str) -> re.Pattern:
+    """The compiled pragma regex for one namespace.
+
+    Group 1 captures the comma-separated rule list, group 2 the
+    justification (empty when missing).
+    """
+    return re.compile(
+        rf"#\s*{re.escape(namespace)}:\s*allow\(([^)]*)\)\s*(?:--|—)?\s*(\S?.*)$"
+    )
+
+
+class PragmaIndex:
+    """Per-line suppressions of one namespace over one file's lines.
+
+    Attributes:
+        allowed: line number -> set of rule names suppressed there.
+        unjustified: ``(line, col, text)`` of pragmas with no reason.
+    """
+
+    def __init__(self, namespace: str, lines: Sequence[str]) -> None:
+        """Parse every pragma of ``namespace`` out of ``lines``."""
+        self.namespace = namespace
+        self.allowed: Dict[int, Set[str]] = {}
+        self.unjustified: List[Tuple[int, int, str]] = []
+        pattern = pragma_pattern(namespace)
+        for number, line in enumerate(lines, start=1):
+            match = pattern.search(line)
+            if match is None:
+                continue
+            rules = {
+                rule.strip() for rule in match.group(1).split(",") if rule.strip()
+            }
+            if not match.group(2).strip():
+                self.unjustified.append((number, line.index("#"), line.strip()))
+            self.allowed.setdefault(number, set()).update(rules)
+            if line.lstrip().startswith("#"):
+                # A standalone pragma comment covers the line below it.
+                self.allowed.setdefault(number + 1, set()).update(rules)
+
+    def allows(self, line: int, rule: str) -> bool:
+        """True when ``rule`` is suppressed on ``line``."""
+        return rule in self.allowed.get(line, set())
+
+
+_FILE_CACHE: Dict[Tuple[str, str], PragmaIndex] = {}
+
+
+def file_pragmas(path: str, namespace: str) -> PragmaIndex:
+    """The (cached) :class:`PragmaIndex` of a source file on disk.
+
+    Used by the race sanitizer to check scheduling call sites at run time;
+    unreadable files index as empty (nothing suppressed).  The cache is
+    keyed by path only — analysis runs are short-lived relative to edits.
+    """
+    key = (path, namespace)
+    if key not in _FILE_CACHE:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            lines = []
+        # det: allow(shared-state-mutation) -- idempotent cache; the value is a pure function of the key
+        _FILE_CACHE[key] = PragmaIndex(namespace, lines)
+    return _FILE_CACHE[key]
+
+
+def clear_pragma_cache() -> None:
+    """Drop the file-pragma cache (tests that rewrite fixtures call this)."""
+    _FILE_CACHE.clear()

@@ -1,0 +1,427 @@
+"""Project-wide schedule-order analysis: the static side of SimRace.
+
+The dynamic sanitizer (:mod:`repro.analysis.races`) finds schedule-order
+races that a particular run *exercises*; this pass finds the hazards that
+make such races possible, without running anything.  It is a whole-project
+analysis — single-file linting cannot see that two ``schedule()`` calls in
+different modules land events at the same computed instant, or that a
+handler reached from a dispatched event mutates state another handler
+also touches.
+
+Rules
+-----
+``shared-state-mutation``
+    A function reachable from a scheduled-event entry point mutates
+    cross-agent or module-level state directly — a ``global`` rebind, a
+    store into module-level state, or an attribute/subscript store rooted
+    at an object *passed in* (not ``self``) — without going through the
+    kernel seam.  Two handlers doing this at one instant is exactly the
+    schedule-order race the sanitizer reports; mutations belong on the
+    owning object (a method call) or behind a scheduled event.
+
+``ambiguous-tier``
+    Two or more ``schedule()`` call sites compute the *same* timestamp
+    expression with no explicit ``tier=``: events from those sites can
+    collide at one instant, and their order then falls to the ``seq``
+    tie-break — i.e. to the incidental order of the calls.  If the
+    collision is intended, say so with ``tier=``; if the ordering is
+    pinned by tests, suppress with a justified pragma.
+
+How entry points are found
+--------------------------
+The pass collects every event kind string passed to a ``schedule()`` /
+``_schedule()`` call, finds *dispatchers* — functions that compare a
+variable against those kind strings — and treats every function a
+dispatcher calls as a scheduled-event entry point.  Reachability then
+follows a name-based call graph (a call to ``foo`` reaches every
+``foo`` definition in the project — deliberately over-approximate).
+
+Both rules suppress with the ordinary ``# det: allow(rule) -- why``
+pragma on (or above) the flagged line.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .lint import LintFinding, iter_python_files
+from .pragmas import DET, PragmaIndex
+
+SHARED_STATE_MUTATION = "shared-state-mutation"
+AMBIGUOUS_TIER = "ambiguous-tier"
+
+PROJECT_RULES = (SHARED_STATE_MUTATION, AMBIGUOUS_TIER)
+
+_SCHEDULE_NAMES = {"schedule", "_schedule"}
+
+
+@dataclass
+class _ScheduleSite:
+    """One ``schedule()`` / ``_schedule()`` call site."""
+
+    path: str
+    line: int
+    col: int
+    text: str
+    time_shape: str  # normalized ast.dump of the time argument
+    computed: bool  # the time arg is an expression, not a bare name/const
+    has_tier: bool
+    kind: Optional[str]  # literal event-kind string when present
+
+
+@dataclass
+class _FunctionInfo:
+    """One function/method definition and what it does."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    params: Set[str] = field(default_factory=set)
+    calls: Set[str] = field(default_factory=set)  # bare callee names
+    compared_strings: Set[str] = field(default_factory=set)
+    mutations: List[Tuple[int, int, str, str]] = field(default_factory=list)
+    # (line, col, description, source text)
+
+
+def _root_name(node: ast.AST) -> str:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else ""
+
+
+def _callee_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _is_trivial_time(node: ast.AST) -> bool:
+    """Bare names, constants, and plain attribute reads are not 'computed'."""
+    return isinstance(node, (ast.Name, ast.Constant, ast.Attribute))
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Single pass over one module: functions, schedule sites, globals."""
+
+    def __init__(self, path: str, lines: Sequence[str]) -> None:
+        self.path = path
+        self.lines = lines
+        self.functions: List[_FunctionInfo] = []
+        self.schedule_sites: List[_ScheduleSite] = []
+        self.module_names: Set[str] = set()
+        self._stack: List[_FunctionInfo] = []
+        self._class_stack: List[str] = []
+
+    def _source(self, line: int) -> str:
+        return self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+
+    # -- definitions --------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        prefix = ".".join(self._class_stack)
+        qualname = f"{prefix}.{node.name}" if prefix else node.name
+        info = _FunctionInfo(
+            qualname=f"{self.path}::{qualname}",
+            name=node.name,
+            path=self.path,
+            line=node.lineno,
+        )
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            info.params.add(arg.arg)
+        if args.vararg is not None:
+            info.params.add(args.vararg.arg)
+        if args.kwarg is not None:
+            info.params.add(args.kwarg.arg)
+        self.functions.append(info)
+        self._stack.append(info)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    # -- module-level state -------------------------------------------
+    def _record_module_name(self, target: ast.AST) -> None:
+        if self._class_stack:
+            return  # class attributes are per-instance state, not module state
+        if isinstance(target, ast.Name):
+            self.module_names.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._record_module_name(element)
+
+    # -- statements ----------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._stack:
+            for target in node.targets:
+                self._record_module_name(target)
+        else:
+            for target in node.targets:
+                self._check_mutation(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._stack:
+            self._record_module_name(node.target)
+        elif node.value is not None:
+            self._check_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if not self._stack:
+            self._record_module_name(node.target)
+        else:
+            self._check_mutation(node.target)
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._stack:
+            current = self._stack[-1]
+            for name in node.names:
+                current.mutations.append(
+                    (
+                        node.lineno,
+                        node.col_offset,
+                        f"rebinds module-level '{name}' via 'global'",
+                        self._source(node.lineno),
+                    )
+                )
+        self.generic_visit(node)
+
+    def _check_mutation(self, target: ast.AST) -> None:
+        """Record stores into non-local roots from inside a function.
+
+        Only the outermost store target is examined — names read inside a
+        subscript index (``self._flows[spec.flow_id] = ...`` reads
+        ``spec``) are not mutated.
+        """
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_mutation(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_mutation(target.value)
+            return
+        if not isinstance(target, (ast.Attribute, ast.Subscript)):
+            return
+        current = self._stack[-1]
+        root = _root_name(target)
+        if not root or root in ("self", "cls"):
+            return
+        store = "attribute" if isinstance(target, ast.Attribute) else "entry"
+        if root in current.params:
+            current.mutations.append(
+                (
+                    target.lineno,
+                    target.col_offset,
+                    f"writes an {store} of parameter '{root}' — state "
+                    "owned by another object",
+                    self._source(target.lineno),
+                )
+            )
+        elif root in self.module_names:
+            current.mutations.append(
+                (
+                    target.lineno,
+                    target.col_offset,
+                    f"writes an {store} of module-level '{root}'",
+                    self._source(target.lineno),
+                )
+            )
+
+    # -- expressions ---------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _callee_name(node.func)
+        if self._stack and name:
+            self._stack[-1].calls.add(name)
+        if name in _SCHEDULE_NAMES:
+            self._record_schedule(node)
+        self.generic_visit(node)
+
+    def _record_schedule(self, node: ast.Call) -> None:
+        time_arg: Optional[ast.AST] = node.args[0] if node.args else None
+        kind_arg: Optional[ast.AST] = node.args[1] if len(node.args) > 1 else None
+        has_tier = False
+        for keyword in node.keywords:
+            if keyword.arg == "time":
+                time_arg = keyword.value
+            elif keyword.arg == "kind":
+                kind_arg = keyword.value
+            elif keyword.arg == "tier":
+                has_tier = True
+        if time_arg is None:
+            return
+        kind = (
+            kind_arg.value
+            if isinstance(kind_arg, ast.Constant)
+            and isinstance(kind_arg.value, str)
+            else None
+        )
+        self.schedule_sites.append(
+            _ScheduleSite(
+                path=self.path,
+                line=node.lineno,
+                col=node.col_offset,
+                text=self._source(node.lineno),
+                time_shape=ast.dump(time_arg),
+                computed=not _is_trivial_time(time_arg),
+                has_tier=has_tier,
+                kind=kind,
+            )
+        )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._stack:
+            current = self._stack[-1]
+            for operand in [node.left] + list(node.comparators):
+                if isinstance(operand, ast.Constant) and isinstance(
+                    operand.value, str
+                ):
+                    current.compared_strings.add(operand.value)
+        self.generic_visit(node)
+
+
+def _scan_modules(paths: Iterable[str]) -> List[_ModuleScanner]:
+    scanners: List[_ModuleScanner] = []
+    for path in iter_python_files(paths):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            tree = ast.parse(source, filename=path)
+        except (OSError, SyntaxError):
+            continue
+        scanner = _ModuleScanner(path, source.splitlines())
+        scanner.visit(tree)
+        scanners.append(scanner)
+    return scanners
+
+
+def _reachable_handlers(
+    scanners: Sequence[_ModuleScanner],
+) -> Dict[str, _FunctionInfo]:
+    """Functions reachable from scheduled-event dispatch, by qualname."""
+    kinds: Set[str] = set()
+    for scanner in scanners:
+        for site in scanner.schedule_sites:
+            if site.kind is not None:
+                kinds.add(site.kind)
+    if not kinds:
+        return {}
+    by_name: Dict[str, List[_FunctionInfo]] = {}
+    for scanner in scanners:
+        for info in scanner.functions:
+            by_name.setdefault(info.name, []).append(info)
+    dispatchers = [
+        info
+        for scanner in scanners
+        for info in scanner.functions
+        if info.compared_strings & kinds
+    ]
+    # Entry points: everything a dispatcher calls (the handlers), plus the
+    # dispatcher itself (its own body runs under the dispatched event too).
+    frontier: List[_FunctionInfo] = list(dispatchers)
+    reachable: Dict[str, _FunctionInfo] = {}
+    while frontier:
+        info = frontier.pop()
+        if info.qualname in reachable:
+            continue
+        reachable[info.qualname] = info
+        for callee in info.calls:
+            frontier.extend(by_name.get(callee, ()))
+    return reachable
+
+
+def _mutation_findings(
+    scanners: Sequence[_ModuleScanner],
+) -> List[LintFinding]:
+    reachable = _reachable_handlers(scanners)
+    findings: List[LintFinding] = []
+    for info in reachable.values():
+        for line, col, description, text in info.mutations:
+            findings.append(
+                LintFinding(
+                    rule=SHARED_STATE_MUTATION,
+                    path=info.path,
+                    line=line,
+                    col=col,
+                    message=(
+                        f"'{info.name}' is reachable from scheduled-event "
+                        f"dispatch and {description}; same-instant handlers "
+                        "race on it — mutate through the owning object or "
+                        "the kernel seam"
+                    ),
+                    text=text,
+                )
+            )
+    return findings
+
+
+def _tier_findings(scanners: Sequence[_ModuleScanner]) -> List[LintFinding]:
+    by_shape: Dict[str, List[_ScheduleSite]] = {}
+    for scanner in scanners:
+        for site in scanner.schedule_sites:
+            if site.computed:
+                by_shape.setdefault(site.time_shape, []).append(site)
+    findings: List[LintFinding] = []
+    for shape in sorted(by_shape):
+        sites = by_shape[shape]
+        distinct = {(site.path, site.line) for site in sites}
+        if len(distinct) < 2:
+            continue
+        peers = sorted(distinct)
+        for site in sites:
+            if site.has_tier:
+                continue
+            others = ", ".join(
+                f"{path}:{line}"
+                for path, line in peers
+                if (path, line) != (site.path, site.line)
+            )
+            findings.append(
+                LintFinding(
+                    rule=AMBIGUOUS_TIER,
+                    path=site.path,
+                    line=site.line,
+                    col=site.col,
+                    message=(
+                        "schedule() computes the same timestamp expression "
+                        f"as {others} with no explicit tier=; same-instant "
+                        "order falls to the seq tie-break — pass tier= or "
+                        "justify with a pragma"
+                    ),
+                    text=site.text,
+                )
+            )
+    return findings
+
+
+def lint_project(paths: Iterable[str]) -> List[LintFinding]:
+    """Run the project-wide pass over files/directories.
+
+    Unlike :func:`repro.analysis.lint.lint_paths`, the unit of analysis is
+    the whole path set at once: call graphs and timestamp-shape groups
+    span files.  Findings honor per-line ``# det: allow(...)`` pragmas.
+    """
+    scanners = _scan_modules(paths)
+    findings = _mutation_findings(scanners) + _tier_findings(scanners)
+    pragma_index: Dict[str, PragmaIndex] = {
+        scanner.path: PragmaIndex(DET, scanner.lines) for scanner in scanners
+    }
+    kept = [
+        finding
+        for finding in findings
+        if not pragma_index[finding.path].allows(finding.line, finding.rule)
+    ]
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -15,6 +15,14 @@ module scope for exactly this reason.  Per-task child seeds come from
 randomness per cell; the stock experiment sweeps seed each cell explicitly
 from their config, so placement never affects results.
 
+Parallel runs ship tasks to workers in contiguous *chunks* (several cells
+per submitted future) to amortize process startup and pickling overhead —
+on short cells, one-task-per-future can make a "parallel" sweep slower
+than the serial loop on few-core machines.  The chunk size defaults to an
+auto heuristic (about four chunks per worker, for load balance) and is
+tunable per runner; chunking never changes results or their order, only
+how tasks are batched onto processes.
+
 :func:`write_bench` records sweep timings in the repo's ``BENCH_*.json``
 artifact convention (a ``format`` tag plus a payload dict).
 """
@@ -26,6 +34,23 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def _run_chunk(func: Callable, chunk: Sequence[Tuple]) -> List[object]:
+    """Worker-side helper: run one contiguous chunk of homogeneous tasks.
+
+    Module-level so it pickles; results stay in chunk order.
+    """
+    return [func(*args) for args in chunk]
+
+
+def _run_task_chunk(tasks: Sequence["SweepTask"]) -> List[object]:
+    """Worker-side helper for heterogeneous :class:`SweepTask` chunks."""
+    return [task.func(*task.args) for task in tasks]
+
+
+def _chunked(items: Sequence, size: int) -> List[Sequence]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
 
 
 @dataclass(frozen=True)
@@ -56,26 +81,44 @@ class SweepRunner:
 
     ``workers=1`` (the default) runs the tasks inline in submission order —
     the exact legacy behaviour of every experiment's ``for`` loop.
-    ``workers>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`;
-    results are gathered by task index, so the merged list is identical to
-    the serial one whenever the tasks themselves are process-independent
-    (each stock experiment cell seeds its own RNGs and builds its own
-    topology, so they are).
+    ``workers>1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+    and ships tasks in contiguous chunks (``chunksize`` per future;
+    ``None`` = auto, about four chunks per worker) to amortize process
+    startup; results are gathered by task index, so the merged list is
+    identical to the serial one whenever the tasks themselves are
+    process-independent (each stock experiment cell seeds its own RNGs and
+    builds its own topology, so they are).
     """
 
-    def __init__(self, workers: int = 1) -> None:
-        """Create a runner that uses ``workers`` processes (1 = inline)."""
+    def __init__(self, workers: int = 1, chunksize: Optional[int] = None) -> None:
+        """Create a runner that uses ``workers`` processes (1 = inline).
+
+        ``chunksize`` fixes how many tasks each submitted future carries;
+        None picks ``ceil(tasks / (workers * 4))`` at call time.
+        """
         if workers < 1:
             raise ValueError(f"workers must be at least 1: {workers}")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be at least 1: {chunksize}")
         self.workers = workers
+        self.chunksize = chunksize
+
+    def _chunk_size_for(self, task_count: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-task_count // (self.workers * 4)))
 
     def map(self, func: Callable, task_args: Sequence[Tuple]) -> List[object]:
         """Run ``func(*args)`` for each args tuple; results in task order."""
         if self.workers == 1:
             return [func(*args) for args in task_args]
+        task_args = list(task_args)
+        chunks = _chunked(task_args, self._chunk_size_for(len(task_args)))
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            futures = [pool.submit(func, *args) for args in task_args]
-            return [future.result() for future in futures]
+            futures = [pool.submit(_run_chunk, func, chunk) for chunk in chunks]
+            return [
+                result for future in futures for result in future.result()
+            ]
 
     def run(self, tasks: Sequence[SweepTask]) -> SweepOutcome:
         """Run heterogeneous tasks; returns results plus wall-clock timing.
@@ -91,9 +134,14 @@ class SweepRunner:
         if self.workers == 1:
             results = [task.func(*task.args) for task in tasks]
         else:
+            chunks = _chunked(list(tasks), self._chunk_size_for(len(tasks)))
             with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                futures = [pool.submit(task.func, *task.args) for task in tasks]
-                results = [future.result() for future in futures]
+                futures = [
+                    pool.submit(_run_task_chunk, chunk) for chunk in chunks
+                ]
+                results = [
+                    result for future in futures for result in future.result()
+                ]
         # det: allow(wall-clock) -- benchmarks measure real sweep cost
         elapsed = _time.perf_counter() - started
         return SweepOutcome(

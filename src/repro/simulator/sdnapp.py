@@ -175,8 +175,10 @@ class ProactiveTeApp:
         for link in path_links(old_path):
             capacity = capacities.get(link, 0.0)
             if capacity > 0:
+                # det: allow(shared-state-mutation) -- planner scratch dict, local to one plan() call
                 utilization[link] = utilization.get(link, 0.0) - rate / capacity
         for link in path_links(new_path):
             capacity = capacities.get(link, 0.0)
             if capacity > 0:
+                # det: allow(shared-state-mutation) -- planner scratch dict, local to one plan() call
                 utilization[link] = utilization.get(link, 0.0) + rate / capacity

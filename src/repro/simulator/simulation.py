@@ -297,11 +297,18 @@ class Simulation:
             # next_time is min() over these exact values, so the equality
             # tests below are identity dispatch (which event fires first),
             # not equality between independently computed floats.
+            sanitizer = self._scheduler.sanitizer
             # det: allow(float-eq) -- identity dispatch against min()
             if completion_time == next_time and completing_flow is not None:
+                if sanitizer is not None:
+                    # Scan-mode completions are loop-ordered (the ETA scan
+                    # picks them), not seq-ordered: not race material.
+                    sanitizer.external("scan-completion")
                 self._complete_flow(completing_flow)
             # det: allow(float-eq) -- identity dispatch against min()
             elif arrival_time == next_time:
+                if sanitizer is not None:
+                    sanitizer.external("arrival")
                 self._admit_next_flow()
             else:
                 event = self._scheduler.pop()
@@ -353,6 +360,10 @@ class Simulation:
             )
             # det: allow(float-eq) -- identity dispatch against min()
             if arrival_time == next_time and not completion_first:
+                if self._scheduler.sanitizer is not None:
+                    # Arrival order is fixed by the sorted workload and the
+                    # loop's explicit arrival-vs-event rule, not by seq.
+                    self._scheduler.sanitizer.external("arrival")
                 self._admit_next_flow()
             else:
                 event = self._scheduler.pop()
@@ -409,6 +420,7 @@ class Simulation:
             # is already running.
             outcome = self.controller.install_path(spec, path, self.now)
             self._record_outcome(outcome)
+            # det: allow(ambiguous-tier) -- start/activate collisions are seq-ordered on purpose; order pinned by parity digests
             self._schedule(
                 max(outcome.ready_time, self.now), "start", (spec, path)
             )
@@ -469,6 +481,7 @@ class Simulation:
             for move, outcome in zip(moves, outcomes):
                 self._record_outcome(outcome)
                 self._active[move.flow_id].pending_activation = True
+                # det: allow(ambiguous-tier) -- per-move activations are independent; seq order pinned by parity digests
                 self._schedule(
                     max(outcome.ready_time, self.now),
                     "activate",
@@ -536,6 +549,7 @@ class Simulation:
         for (flow_id, path), outcome in zip(repairs, outcomes):
             self._record_outcome(outcome)
             self._active[flow_id].pending_activation = True
+            # det: allow(ambiguous-tier) -- repair activations are independent; seq order pinned by parity digests
             self._schedule(
                 max(outcome.ready_time, self.now), "activate", (flow_id, path)
             )

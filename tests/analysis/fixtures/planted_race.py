@@ -1,0 +1,44 @@
+"""A planted schedule-order race, for the detector's must-fail tests.
+
+Two events are scheduled at the same instant in the same tier, and both
+handlers install into the same TCAM table: which rule lands first — and
+therefore the table's insertion order — is decided only by the order of
+the two ``schedule()`` calls below (the kernel's ``seq`` tie-break).
+That is exactly the hazard :class:`repro.analysis.races.RaceSanitizer`
+exists to catch, so running this fixture under the sanitizer MUST report
+one race on the table's state key with both events in the witness pair.
+
+This module is never imported by the test suite directly; it is executed
+through :func:`repro.analysis.races.run_fixture` (and the
+``python -m repro.analysis races`` CLI) by ``tests/analysis/test_races.py``
+and by CI's must-fail loop.
+"""
+
+from repro.engine.scheduler import EventScheduler
+from repro.tcam.prefix import Prefix
+from repro.tcam.rule import Action, Rule
+from repro.tcam.switch_models import pica8_p3290
+from repro.tcam.table import TcamTable
+
+
+def run(sanitizer):
+    """Drive the planted race under ``sanitizer``; returns the table."""
+    scheduler = EventScheduler()
+    sanitizer.watch_scheduler(scheduler)
+    table = TcamTable(pica8_p3290(), name="s1")
+    sanitizer.watch_table(table, "table:s1")
+
+    # Same instant, same (default) tier: only seq orders these two.
+    scheduler.schedule(1.0, "install-left", 1)
+    scheduler.schedule(1.0, "install-right", 2)
+
+    while scheduler:
+        event = scheduler.pop()
+        scheduler.clock.advance_to(event.time)
+        rule = Rule.from_prefix(
+            Prefix(10 << 24, 8 + event.payload),
+            priority=event.payload,
+            action=Action.output(event.payload),
+        )
+        table.insert(rule)
+    return table

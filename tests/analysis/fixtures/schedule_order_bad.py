@@ -1,0 +1,46 @@
+"""Known-bad fixture for the project-wide schedule-order pass.
+
+Every construct here is a schedule-order hazard the pass must flag:
+
+* ``shared-state-mutation`` — ``on_tick`` is reachable from scheduled-event
+  dispatch (``dispatch`` compares against the scheduled kind ``"tick"``)
+  and mutates module-level state (``REGISTRY``) plus another agent's
+  state (``peer.done``) directly.
+* ``ambiguous-tier`` — ``arm`` and ``arm_again`` schedule events with the
+  same computed timestamp expression from different call sites, with no
+  explicit ``tier=``; their same-instant order falls to the seq
+  tie-break.  ``arm_allowed`` does the same but carries a justified
+  pragma, so it must NOT be flagged.
+
+The module is valid Python but is never imported by the test suite; the
+project pass reads it as source.
+"""
+
+REGISTRY = {}
+
+
+class Worker:
+    def __init__(self, scheduler):
+        self.scheduler = scheduler
+        self.done = 0
+
+    def on_tick(self, peer):
+        # BAD: module-level state mutated from a scheduled handler.
+        REGISTRY["last"] = self.done
+        # BAD: reaches across into another agent's state.
+        peer.done = peer.done + 1
+
+    def dispatch(self, event, peer):
+        if event.kind == "tick":
+            self.on_tick(peer)
+
+    def arm(self, outcome):
+        # BAD: same computed timestamp as arm_again, no explicit tier.
+        self.scheduler.schedule(max(outcome.ready_time, 0.0), "tick")
+
+    def arm_again(self, outcome):
+        self.scheduler.schedule(max(outcome.ready_time, 0.0), "tick")
+
+    def arm_allowed(self, outcome):
+        # det: allow(ambiguous-tier) -- collision order is pinned by this fixture's test
+        self.scheduler.schedule(max(outcome.ready_time, 0.0), "tick")

@@ -15,7 +15,13 @@ Budget knobs (for CI): ``FUZZ_EXAMPLES`` (default 20 scenarios) and
 ``FUZZ_VIA_AGENT=1`` routes every FlowMod through a kernel-clocked
 :class:`~repro.switchsim.agent.SwitchAgent` instead of calling the
 installer directly, so the agent's queueing/tracing/fault plumbing sits in
-the fuzzed path too.
+the fuzzed path too.  Setting ``FUZZ_RACES=1`` runs every operation as a
+dispatched kernel event under the schedule-order race sanitizer
+(:class:`repro.analysis.races.RaceSanitizer`) with a per-step
+zero-races invariant: each operation advances time, so any race the
+sanitizer reports means the instrumentation itself manufactured a
+same-instant conflict — a detector false positive caught in the fuzz
+loop.
 """
 
 import os
@@ -25,15 +31,17 @@ from hypothesis import strategies as st
 from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 
 from repro.analysis.ap import attach_incremental_checker, violation_fingerprint
+from repro.analysis.races import RaceSanitizer
 from repro.analysis.verifier import verify_installer
 from repro.core import HermesConfig, HermesInstaller
-from repro.engine import Clock
+from repro.engine import Clock, EventScheduler
 from repro.switchsim import DirectInstaller, FlowMod, SwitchAgent
 from repro.tcam import Action, Prefix, Rule, dell_8132f, pica8_p3290
 
 FUZZ_EXAMPLES = int(os.environ.get("FUZZ_EXAMPLES", "20"))
 FUZZ_STEPS = int(os.environ.get("FUZZ_STEPS", "30"))
 FUZZ_VIA_AGENT = os.environ.get("FUZZ_VIA_AGENT") == "1"
+FUZZ_RACES = os.environ.get("FUZZ_RACES") == "1"
 
 
 class HermesFuzz(RuleBasedStateMachine):
@@ -58,6 +66,22 @@ class HermesFuzz(RuleBasedStateMachine):
         self.time = 0.0
         self.live = []  # (hermes_rule, oracle_rule) pairs
         self.used_priorities = set()
+        if FUZZ_RACES:
+            self.scheduler = EventScheduler()
+            self.sanitizer = RaceSanitizer()
+            self.sanitizer.watch_scheduler(self.scheduler)
+            self.sanitizer.watch_installer(self.hermes, "installer:fuzz")
+        else:
+            self.scheduler = None
+            self.sanitizer = None
+
+    def _as_event(self, kind):
+        """FUZZ_RACES mode: run the next operation as a dispatched event,
+        so its installer/table accesses get a per-event footprint."""
+        if self.scheduler is not None:
+            self.scheduler.schedule(self.time, kind)
+            self.scheduler.pop()
+            self.scheduler.clock.advance_to(self.time)
 
     def _apply_hermes(self, flow_mod):
         """Apply one FlowMod at ``self.time``, via the agent when asked.
@@ -65,6 +89,7 @@ class HermesFuzz(RuleBasedStateMachine):
         The agent calls ``advance_time`` itself before executing, so the
         two paths keep identical installer-visible timelines.
         """
+        self._as_event("flowmod")
         if self.agent is not None:
             self.agent.submit(flow_mod, at_time=self.time)
         else:
@@ -118,6 +143,7 @@ class HermesFuzz(RuleBasedStateMachine):
     @rule()
     def force_migration(self):
         self.time += 0.005
+        self._as_event("migrate")
         self.hermes.rule_manager.migrate(self.time)
 
     # -- invariants (the verifier IS the fuzzing oracle) ---------------
@@ -138,6 +164,15 @@ class HermesFuzz(RuleBasedStateMachine):
         assert self.hermes.rule_manager.migration_violations == []
 
     @invariant()
+    def no_schedule_order_races(self):
+        # Ops run at strictly increasing instants, so the sanitizer must
+        # stay silent; a report here is a detector false positive.
+        if self.sanitizer is not None:
+            assert self.sanitizer.races == [], [
+                str(race) for race in self.sanitizer.races
+            ]
+
+    @invariant()
     def forwarding_matches_oracle(self):
         for h_rule, _ in self.live:
             prefix = h_rule.match.to_prefix()
@@ -147,6 +182,13 @@ class HermesFuzz(RuleBasedStateMachine):
                 assert (h_hit is None) == (o_hit is None), hex(probe)
                 if h_hit is not None:
                     assert h_hit.action == o_hit.action, hex(probe)
+
+
+    def teardown(self):
+        if self.sanitizer is not None:
+            races = self.sanitizer.finish()
+            assert races == [], [str(race) for race in races]
+        super().teardown()
 
 
 HermesFuzz.TestCase.settings = settings(

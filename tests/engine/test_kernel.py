@@ -154,6 +154,86 @@ class TestEventScheduler:
                 assert first.payload < second.payload
 
 
+def _dispatch_order(insertion_order, tiers):
+    """Dispatch same-instant events inserted in ``insertion_order``."""
+    scheduler = EventScheduler()
+    for ident in insertion_order:
+        scheduler.schedule(1.0, f"event-{ident}", payload=ident, tier=tiers[ident])
+    return [scheduler.pop().payload for _ in insertion_order]
+
+
+_TIE_N = 6
+
+
+class TestTieBreakInvariance:
+    """What the seq tie-break does and does not decide.
+
+    Cross-tier order is part of the model: permuting insertion never
+    changes it.  Same-tier order is *only* the tie-break: it tracks
+    insertion order exactly, which is why two same-``(time, tier)``
+    events with conflicting accesses are a schedule-order race — the
+    hazard the sanitizer (:mod:`repro.analysis.races`) reports, and the
+    planted-race fixture under ``tests/analysis/fixtures/`` exercises.
+    """
+
+    @given(
+        tiers=st.lists(
+            st.sampled_from([TIER_COMPLETION, 1]),
+            min_size=_TIE_N,
+            max_size=_TIE_N,
+        ),
+        permuted=st.permutations(list(range(_TIE_N))),
+    )
+    def test_cross_tier_order_never_depends_on_insertion(self, tiers, permuted):
+        baseline = _dispatch_order(list(range(_TIE_N)), tiers)
+        shuffled = _dispatch_order(permuted, tiers)
+        position_b = {ident: i for i, ident in enumerate(baseline)}
+        position_s = {ident: i for i, ident in enumerate(shuffled)}
+        for a in range(_TIE_N):
+            for b in range(a + 1, _TIE_N):
+                if tiers[a] != tiers[b]:
+                    assert (position_b[a] < position_b[b]) == (
+                        position_s[a] < position_s[b]
+                    )
+
+    @given(
+        tiers=st.lists(
+            st.sampled_from([TIER_COMPLETION, 1]),
+            min_size=_TIE_N,
+            max_size=_TIE_N,
+        ),
+        permuted=st.permutations(list(range(_TIE_N))),
+    )
+    def test_same_tier_order_is_exactly_insertion_order(self, tiers, permuted):
+        for insertion in (list(range(_TIE_N)), permuted):
+            dispatched = _dispatch_order(insertion, tiers)
+            for tier in (TIER_COMPLETION, 1):
+                expected = [i for i in insertion if tiers[i] == tier]
+                observed = [i for i in dispatched if tiers[i] == tier]
+                assert observed == expected
+
+    @given(permuted=st.permutations([0, 1]))
+    def test_sanitizer_flags_exactly_the_seq_decided_conflicts(self, permuted):
+        from repro.analysis.races import RaceSanitizer
+
+        # Same tier: the pair's order is seq-decided, so a conflicting
+        # write pair is a race.  Different tiers: ordered, no race.
+        for tier_b, expected_races in ((1, 1), (TIER_COMPLETION, 0)):
+            tiers = {0: 1, 1: tier_b}
+            scheduler = EventScheduler()
+            sanitizer = RaceSanitizer()
+            sanitizer.watch_scheduler(scheduler)
+            for ident in permuted:
+                scheduler.schedule(
+                    1.0, f"event-{ident}", payload=ident, tier=tiers[ident]
+                )
+            for _ in range(2):
+                scheduler.pop()
+                sanitizer.record_write("shared-key")
+            sanitizer.finish()
+            assert len(sanitizer.races) == expected_races
+
+
 class TestRngStreams:
     def test_matches_legacy_closure_counter_derivation(self):
         # The n-th distinct stream must be default_rng(seed + n) — the
@@ -224,6 +304,31 @@ class TestSweepRunner:
             SweepRunner(workers=1).map(_fail, [(1,)])
         with pytest.raises(RuntimeError, match="boom"):
             SweepRunner(workers=2).map(_fail, [(1,), (2,)])
+
+    def test_chunksize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepRunner(workers=2, chunksize=0)
+
+    def test_explicit_chunksize_preserves_task_order(self):
+        serial = SweepRunner(workers=1).map(_square, [(n,) for n in range(9)])
+        chunked = SweepRunner(workers=2, chunksize=4).map(
+            _square, [(n,) for n in range(9)]
+        )
+        assert chunked == serial
+
+    def test_auto_chunksize_batches_tasks(self):
+        # 2 workers -> ~8 chunks; 100 tasks -> 13 per chunk, not 1.
+        assert SweepRunner(workers=2)._chunk_size_for(100) == 13
+        assert SweepRunner(workers=2)._chunk_size_for(3) == 1
+        assert SweepRunner(workers=2, chunksize=5)._chunk_size_for(100) == 5
+
+    def test_chunked_run_preserves_heterogeneous_order(self):
+        tasks = [
+            SweepTask(func=_square, args=(n,), label=f"t{n}") for n in range(7)
+        ]
+        outcome = SweepRunner(workers=2, chunksize=3).run(tasks)
+        assert outcome.results == [n * n for n in range(7)]
+        assert outcome.labels == [f"t{n}" for n in range(7)]
 
 
 class TestWriteBench:
