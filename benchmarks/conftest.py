@@ -3,16 +3,43 @@
 Each benchmark regenerates one of the paper's tables or figures (quick
 scale), prints the rendered artifact, and asserts the headline *shape* the
 paper reports.  ``pytest benchmarks/ --benchmark-only`` runs them all.
+
+Every run also writes a ``hermes-bench/1`` artifact through
+:func:`repro.obs.perf.bench.write_bench_artifact`: one
+``results/BENCH_<suite>.json`` per suite, one trajectory point appended to
+``results/perf_history.jsonl``, and a refreshed ``results/INDEX.md``.
+Set ``HERMES_BENCH_DIR`` to redirect everything (CI does).
 """
 
-import pytest
+from repro.obs.perf.bench import write_bench_artifact
+from repro.obs.perf.wallclock import wallclock
 
 
-def run_and_render(benchmark, run_fn, *args, **kwargs):
-    """Run an experiment once under pytest-benchmark and print its artifact."""
+def run_and_render(benchmark, run_fn, *args, suite=None, headline=None, **kwargs):
+    """Run an experiment once under pytest-benchmark and print its artifact.
+
+    ``suite`` defaults to the tail of ``run_fn``'s module name (``fig01``
+    for ``repro.experiments.fig01``).  ``headline`` extends the artifact's
+    comparison surface: a dict of extra metrics, or a callable receiving
+    the experiment result and returning one; the run's wall-clock seconds
+    are always included as ``run_seconds``.
+    """
+    timing = {}
+
+    def timed(*inner_args, **inner_kwargs):
+        start = wallclock()
+        outcome = run_fn(*inner_args, **inner_kwargs)
+        timing["run_seconds"] = wallclock() - start
+        return outcome
+
     result = benchmark.pedantic(
-        run_fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        timed, args=args, kwargs=kwargs, rounds=1, iterations=1
     )
     print()
     print(result.render())
+    suite_name = suite if suite else run_fn.__module__.rsplit(".", 1)[-1]
+    metrics = {"run_seconds": timing["run_seconds"]}
+    if headline is not None:
+        metrics.update(headline(result) if callable(headline) else headline)
+    write_bench_artifact(suite_name, metrics)
     return result

@@ -42,16 +42,14 @@ import time
 import numpy as np
 
 from repro.baselines import make_installer
-from repro.engine import write_bench
 from repro.experiments.sensitivity import SensitivityConfig
 from repro.experiments.sensitivity import run as run_sensitivity
 from repro.simulator import Simulation, SimulationConfig, TeAppConfig
 from repro.simulator.simulation import _ActiveFlow
 from repro.tcam import get_switch_model
+from repro.obs.perf.bench import write_bench_artifact
 from repro.topology import FatTreeSpec, build_fat_tree, hosts
 from repro.traffic.flows import FlowSpec
-
-FORMAT = "hermes-engine-bench/1"
 
 
 def _synthetic_flows(count, seed=11, size=5e6):
@@ -202,10 +200,17 @@ def run_bench():
 
 def test_bench_engine(benchmark):
     payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    out_path = os.environ.get(
-        "BENCH_ENGINE_OUT", os.path.join("results", "BENCH_engine.json")
+    write_bench_artifact(
+        "engine",
+        headline={
+            "dispatch_speedup": payload["dispatch"]["speedup"],
+            "dispatch_event_seconds": payload["dispatch"]["event_seconds"],
+            "end_to_end_event_seconds": payload["end_to_end"]["event_seconds"],
+            "sweep_speedup": payload["sweep"]["speedup"],
+        },
+        payload=payload,
+        out=os.environ.get("BENCH_ENGINE_OUT"),
     )
-    write_bench(out_path, FORMAT, payload)
 
     dispatch = payload["dispatch"]
     sweep = payload["sweep"]

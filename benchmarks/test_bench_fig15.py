@@ -5,9 +5,21 @@ from repro.experiments import fig15_cpu
 from .conftest import run_and_render
 
 
+def _headline(result):
+    """The hermes-bench/1 comparison surface: per-rule insertion cost and
+    peak migration memory at the largest swept size."""
+    return {
+        "insertion_ms_per_rule": result.column("insertion algorithm (ms/rule)")[-1],
+        "migration_ms_total": result.column("migration (ms total)")[-1],
+        "peak_memory_mib": result.column("peak memory (MiB)")[-1],
+    }
+
+
 def test_bench_fig15(benchmark):
     config = fig15_cpu.Fig15Config(rule_counts=(100, 500, 1000, 2000))
-    result = run_and_render(benchmark, fig15_cpu.run, config)
+    result = run_and_render(
+        benchmark, fig15_cpu.run, config, suite="fig15", headline=_headline
+    )
     counts = result.column("rules")
     insertion = result.column("insertion algorithm (ms/rule)")
     migration = result.column("migration (ms total)")

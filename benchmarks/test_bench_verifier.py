@@ -18,7 +18,6 @@ Environment knobs:
                                ``results/BENCH_verifier.json``).
 """
 
-import json
 import os
 import time
 
@@ -26,10 +25,10 @@ import numpy as np
 
 from repro.analysis.ap import engines_agree
 from repro.analysis.verifier import verify_partition
+from repro.obs.perf.bench import write_bench_artifact
 from repro.tcam.rule import Action, Rule
 from repro.tcam.ternary import TernaryMatch
 
-FORMAT = "hermes-verifier-bench/1"
 SMOKE_SIZES = (1000, 2000, 5000)
 FULL_SIZES = (1000, 5000, 10000, 50000, 100000, 200000)
 
@@ -128,19 +127,23 @@ def test_bench_verifier(benchmark):
     rows = benchmark.pedantic(
         run_sweep, args=(sizes, budget), rounds=1, iterations=1
     )
-    out_path = os.environ.get(
-        "BENCH_VERIFIER_OUT", os.path.join("results", "BENCH_verifier.json")
+    co_run_rows = [row for row in rows if row["speedup"] is not None]
+    write_bench_artifact(
+        "verifier",
+        headline={
+            "ap_seconds_largest": rows[-1]["ap_seconds"],
+            "ap_rules_largest": rows[-1]["rules"],
+            "speedup_largest_corun": (
+                co_run_rows[-1]["speedup"] if co_run_rows else 0.0
+            ),
+        },
+        payload={
+            "sizes": list(sizes),
+            "symbolic_budget_seconds": budget,
+            "rows": rows,
+        },
+        out=os.environ.get("BENCH_VERIFIER_OUT"),
     )
-    payload = {
-        "format": FORMAT,
-        "sizes": list(sizes),
-        "symbolic_budget_seconds": budget,
-        "rows": rows,
-    }
-    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
-    with open(out_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
 
     print()
     for row in rows:

@@ -3,8 +3,11 @@
 #
 # Usage: scripts/reproduce.sh [output-dir]
 #
-# Writes test_output.txt, bench_output.txt, and artifacts.txt into the
-# output directory (default: results/).
+# Writes test_output.txt, bench_output.txt, and artifacts.txt (local
+# logs, not checked in) into the output directory (default: results/).
+# The benchmarks themselves write hermes-bench/1 JSON artifacts plus
+# perf_history.jsonl, and INDEX.md is regenerated at the end — those
+# are the committed surface.
 
 set -euo pipefail
 
@@ -21,4 +24,6 @@ python -m pytest benchmarks/ --benchmark-only 2>&1 | tee "$out/bench_output.txt"
 echo "== 3/3 rendered paper artifacts =="
 python -m repro.experiments all | tee "$out/artifacts.txt" | grep "^== "
 
-echo "Done. Outputs in $out/."
+python -m repro.obs perf index "$out"
+
+echo "Done. Outputs in $out/ (see $out/INDEX.md)."

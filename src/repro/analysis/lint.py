@@ -17,6 +17,13 @@ Rules
 ``wall-clock``
     ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()`` /
     ``datetime.now()`` and friends: real time leaking into simulated time.
+``wallclock-seam``
+    The same wall-clock reads, in any file under ``repro/`` outside
+    :mod:`repro.obs.perf` — even ones a ``wall-clock`` pragma justifies.
+    Legitimate wall-clock access (interval measurement, artifact
+    timestamps) must route through :func:`repro.obs.perf.wallclock`, the
+    repo's single audited seam to the host clock, so "who can see real
+    time" stays greppable in one place.
 ``unordered-iteration``
     Iterating a ``set`` expression (literal, ``set(...)``/``frozenset``
     call, set comprehension, or a set-algebra expression) in an
@@ -88,6 +95,7 @@ from .pragmas import DET, PragmaIndex
 
 UNSEEDED_RANDOM = "unseeded-random"
 WALL_CLOCK = "wall-clock"
+WALLCLOCK_SEAM = "wallclock-seam"
 UNORDERED_ITERATION = "unordered-iteration"
 FLOAT_EQ = "float-eq"
 TRACER_WALL_CLOCK = "tracer-wall-clock"
@@ -97,6 +105,7 @@ BARE_PRAGMA = "bare-pragma"
 ALL_RULES = (
     UNSEEDED_RANDOM,
     WALL_CLOCK,
+    WALLCLOCK_SEAM,
     UNORDERED_ITERATION,
     FLOAT_EQ,
     TRACER_WALL_CLOCK,
@@ -261,6 +270,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
         # simulated time; everything else must go through it.
         normalized = path.replace(os.sep, "/")
         self._in_engine = "repro/engine/" in normalized
+        # repro.obs.perf owns the audited wall-clock seam; everything else
+        # under repro/ must call repro.obs.perf.wallclock() instead of
+        # reading the host clock directly.  Paths outside repro/ (tests,
+        # scripts, fixtures) are out of the seam's jurisdiction.
+        self._seam_applies = (
+            "repro/" in normalized and "repro/obs/perf/" not in normalized
+        )
 
     # -- helpers ------------------------------------------------------
     def _flag(
@@ -417,12 +433,21 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     def _check_wall_clock_call(self, node: ast.Call) -> None:
         name = _wall_clock_name(node)
-        if name:
+        if not name:
+            return
+        self._flag(
+            node,
+            WALL_CLOCK,
+            f"wall-clock read '{name}()' — real time must not "
+            "reach simulated time",
+        )
+        if self._seam_applies:
             self._flag(
                 node,
-                WALL_CLOCK,
-                f"wall-clock read '{name}()' — real time must not "
-                "reach simulated time",
+                WALLCLOCK_SEAM,
+                f"direct '{name}()' under repro/ bypasses the audited "
+                "seam; call repro.obs.perf.wallclock() (or unix_time() / "
+                "timestamp() for artifact stamps) instead",
             )
 
     def _check_tracer_args(self, node: ast.Call) -> None:

@@ -525,77 +525,9 @@ def run_scenario(name: str, sanitizer: Optional[RaceSanitizer] = None):
     """
     if sanitizer is None:
         sanitizer = RaceSanitizer()
-    from ..experiments.common import (
-        WorkloadScale,
-        default_hermes_config,
-        facebook_workload,
-        installer_factory,
-        isp_workload,
-        te_simulation_config,
-    )
-    from ..simulator import Simulation
+    from ..experiments.common import canned_scenario
 
-    if name == "fig01":
-        scale = WorkloadScale(job_count=10)
-        graph, flows, _short, _long = facebook_workload(scale)
-        config = te_simulation_config(scale)
-        factory = installer_factory(
-            "hermes", "pica8-p3290", default_hermes_config(), seed=100
-        )
-    elif name == "fig08":
-        scale = WorkloadScale(isp_flow_duration=3.0)
-        graph, flows = isp_workload("geant", scale)
-        config = te_simulation_config(scale, control_rtt=10e-3)
-        factory = installer_factory(
-            "hermes", "pica8-p3290", default_hermes_config(), seed=100
-        )
-    elif name in ("demo", "chaos"):
-        import numpy as np
-
-        from ..baselines import make_installer
-        from ..faults import FaultInjector, FaultPlan, FlowModFault
-        from ..simulator import SimulationConfig, TeAppConfig
-        from ..switchsim import ChannelConfig
-        from ..tcam import get_switch_model
-        from ..topology import FatTreeSpec, build_fat_tree, hosts
-        from ..traffic import flows_of, generate_jobs
-
-        graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
-        flows = flows_of(
-            generate_jobs(
-                hosts(graph), job_count=4, arrival_rate=6.0,
-                rng=np.random.default_rng(13),
-            )
-        )
-        plan = FaultPlan(flowmod=FlowModFault(drop=0.1, ack_loss_fraction=0.3))
-        injector = FaultInjector(plan=plan, seed=13)
-        config = SimulationConfig(
-            te=TeAppConfig(epoch=0.25),
-            baseline_occupancy=200,
-            max_time=2.5,
-            channel="resilient",
-            channel_config=ChannelConfig(),
-            fault_plan=plan,
-            fault_seed=13,
-        )
-        timing = get_switch_model("pica8-p3290")
-        hermes_config = default_hermes_config()
-
-        def factory(switch_name):
-            return make_installer(
-                "hermes", timing, hermes_config=hermes_config, injector=injector
-            )
-
-        simulation = Simulation(graph, flows, factory, config, injector=injector)
-        sanitizer.watch_simulation(simulation)
-        metrics = simulation.run()
-        sanitizer.finish()
-        return sanitizer, metrics
-    else:
-        raise ValueError(
-            f"unknown scenario {name!r}; known: demo, fig01, fig08, chaos"
-        )
-    simulation = Simulation(graph, list(flows), factory, config)
+    simulation, _meta = canned_scenario(name)
     sanitizer.watch_simulation(simulation)
     metrics = simulation.run()
     sanitizer.finish()

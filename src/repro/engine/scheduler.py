@@ -18,9 +18,13 @@ would break the replay/parity guarantees.
 A schedule-order race sanitizer (:mod:`repro.analysis.races`) can attach
 via :meth:`EventScheduler.attach_sanitizer`: it is then told about every
 ``schedule()`` (to capture the scheduling call site) and every ``pop()``
-(to attribute subsequent state accesses to the dispatched event).  With
-no sanitizer attached — the default — both hooks are a single ``is None``
-test, and runs are byte-identical to a scheduler without the seam.
+(to attribute subsequent state accesses to the dispatched event).  A
+wall-clock profiler (:mod:`repro.obs.perf`) attaches the same way via
+:meth:`EventScheduler.attach_profiler` and is told about every ``pop()``
+so it can attribute the wall time until the *next* pop to the dispatched
+event.  With neither attached — the default — each hook is a single
+``is None`` test, and runs are byte-identical to a scheduler without the
+seams.
 """
 
 from __future__ import annotations
@@ -70,6 +74,7 @@ class EventScheduler:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._sanitizer = None
+        self._profiler = None
 
     @property
     def sanitizer(self):
@@ -84,6 +89,20 @@ class EventScheduler:
         :class:`repro.analysis.races.RaceSanitizer`.
         """
         self._sanitizer = sanitizer
+
+    @property
+    def profiler(self):
+        """The attached wall-clock profiler, or None (the default)."""
+        return self._profiler
+
+    def attach_profiler(self, profiler) -> None:
+        """Attach a wall-clock profiler (``None`` detaches).
+
+        The profiler must expose ``on_dispatch(event)``; see
+        :class:`repro.obs.perf.Profiler`.  Like the sanitizer seam, a
+        detached profiler costs one ``is None`` test per pop.
+        """
+        self._profiler = profiler
 
     def schedule(
         self,
@@ -121,6 +140,8 @@ class EventScheduler:
         event = heapq.heappop(self._heap)
         if self._sanitizer is not None:
             self._sanitizer.on_dispatch(event)
+        if self._profiler is not None:
+            self._profiler.on_dispatch(event)
         return event
 
     def next_time(self) -> float:

@@ -127,10 +127,12 @@ class SweepRunner:
         cost of the sweep (the number benchmarks record), never simulated
         time.
         """
-        import time as _time
+        # Lazy import: the engine package must not import repro.obs at
+        # module load (obs imports nothing from engine, but keeping the
+        # kernel's import graph leaf-free is a deliberate invariant).
+        from ..obs.perf.wallclock import wallclock
 
-        # det: allow(wall-clock) -- benchmarks measure real sweep cost
-        started = _time.perf_counter()
+        started = wallclock()
         if self.workers == 1:
             results = [task.func(*task.args) for task in tasks]
         else:
@@ -142,8 +144,7 @@ class SweepRunner:
                 results = [
                     result for future in futures for result in future.result()
                 ]
-        # det: allow(wall-clock) -- benchmarks measure real sweep cost
-        elapsed = _time.perf_counter() - started
+        elapsed = wallclock() - started
         return SweepOutcome(
             results=results,
             labels=[task.label for task in tasks],

@@ -229,6 +229,86 @@ def run_te_simulation(
 
 
 # ----------------------------------------------------------------------
+# Canned scenarios (shared by the race CLI, the perf CLI, and CI)
+# ----------------------------------------------------------------------
+CANNED_SCENARIOS = ("demo", "fig01", "fig08", "chaos")
+
+
+def canned_scenario(name: str):
+    """Construct (but do not run) one canned end-to-end scenario.
+
+    Returns ``(simulation, meta)`` — the caller attaches whatever
+    instrumentation it wants (race sanitizer, wall-clock profiler) and
+    drives ``simulation.run()`` itself.  Construction order is part of
+    the parity contract: the race-sanitizer and profiler on/off tests pin
+    digests of these exact runs, so RNG draws made while building must
+    not move.  Callers that want a trace install a recording tracer
+    around the *call* (agents capture the ambient tracer when built).
+    """
+    if name == "fig01":
+        scale = WorkloadScale(job_count=10)
+        graph, flows, _short, _long = facebook_workload(scale)
+        config = te_simulation_config(scale)
+        factory = installer_factory(
+            "hermes", "pica8-p3290", default_hermes_config(), seed=100
+        )
+        simulation = Simulation(graph, list(flows), factory, config)
+        meta = {"scenario": name, "scheme": "hermes", "switch": "pica8-p3290"}
+    elif name == "fig08":
+        scale = WorkloadScale(isp_flow_duration=3.0)
+        graph, flows = isp_workload("geant", scale)
+        config = te_simulation_config(scale, control_rtt=10e-3)
+        factory = installer_factory(
+            "hermes", "pica8-p3290", default_hermes_config(), seed=100
+        )
+        simulation = Simulation(graph, list(flows), factory, config)
+        meta = {"scenario": name, "scheme": "hermes", "switch": "pica8-p3290"}
+    elif name in ("demo", "chaos"):
+        from ..faults import FaultInjector, FaultPlan, FlowModFault
+        from ..switchsim import ChannelConfig
+
+        graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+        flows = flows_of(
+            generate_jobs(
+                hosts(graph), job_count=4, arrival_rate=6.0,
+                rng=np.random.default_rng(13),
+            )
+        )
+        plan = FaultPlan(flowmod=FlowModFault(drop=0.1, ack_loss_fraction=0.3))
+        injector = FaultInjector(plan=plan, seed=13)
+        config = SimulationConfig(
+            te=TeAppConfig(epoch=0.25),
+            baseline_occupancy=200,
+            max_time=2.5,
+            channel="resilient",
+            channel_config=ChannelConfig(),
+            fault_plan=plan,
+            fault_seed=13,
+        )
+        timing = get_switch_model("pica8-p3290")
+        hermes_config = default_hermes_config()
+
+        def factory(switch_name):
+            return make_installer(
+                "hermes", timing, hermes_config=hermes_config, injector=injector
+            )
+
+        simulation = Simulation(graph, flows, factory, config, injector=injector)
+        meta = {
+            "scenario": name,
+            "scheme": "hermes",
+            "switch": "pica8-p3290",
+            "drop": 0.1,
+            "seed": 13,
+        }
+    else:
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {', '.join(CANNED_SCENARIOS)}"
+        )
+    return simulation, meta
+
+
+# ----------------------------------------------------------------------
 # Single-switch trace replay (microbench / BGP / time series)
 # ----------------------------------------------------------------------
 @dataclass

@@ -15,12 +15,12 @@ CPU, different language); the growth shapes are the reproduction target.
 
 from __future__ import annotations
 
-import time
 import tracemalloc
 from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..analysis import ExperimentResult
+from ..obs.perf.wallclock import wallclock
 from ..core import (
     CubicSplinePredictor,
     PartitionMap,
@@ -60,15 +60,13 @@ def time_insertion_algorithm(rule_count: int, main_table_size: int = 500) -> flo
     main_rules = _rules(main_table_size)
     # Fig 15 measures the *real* CPU cost of the algorithms; wall time is
     # the quantity under test here, not simulated time.
-    # det: allow(wall-clock) -- wall time is the measured quantity (Fig 15)
-    start = time.perf_counter()
+    start = wallclock()
     for probe in range(rule_count):
         new_rule = Rule.from_prefix(
             f"10.{probe % 200}.0.0/16", 10, Action.output(2)
         )
         partition_new_rule(new_rule, main_rules)
-    # det: allow(wall-clock) -- same measurement, closing timestamp
-    return (time.perf_counter() - start) / rule_count
+    return (wallclock() - start) / rule_count
 
 
 def time_migration_algorithm(rule_count: int) -> Tuple[float, float]:
@@ -90,11 +88,9 @@ def time_migration_algorithm(rule_count: int) -> Tuple[float, float]:
     for rule in _rules(rule_count):
         shadow.insert(rule)
     tracemalloc.start()
-    # det: allow(wall-clock) -- Fig 15(b) measures real migration CPU cost
-    start = time.perf_counter()
+    start = wallclock()
     manager.migrate(now=0.0)
-    # det: allow(wall-clock) -- same measurement, closing timestamp
-    elapsed = time.perf_counter() - start
+    elapsed = wallclock() - start
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return elapsed, peak / (1024 * 1024)

@@ -10,6 +10,9 @@
 * :mod:`~repro.obs.summary` — per-stage FlowMod breakdowns and trace diffs
   (the engine behind ``python -m repro.obs``).
 * :mod:`~repro.obs.online` — the tracer-listener verification hook.
+* :mod:`~repro.obs.perf` — the wall-clock performance observatory:
+  opt-in hotspot profiler, guarantee-burn ledger, and the
+  ``hermes-bench/1`` benchmark artifact layer.
 
 See ``docs/observability.md`` for the span taxonomy and trace schema.
 """

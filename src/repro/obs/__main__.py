@@ -8,6 +8,9 @@ Subcommands:
 * ``scenario --out-dir DIR`` — run a small traced simulation and export
   all three formats (JSONL trace, Chrome trace-event JSON, Prometheus
   text); what the CI ``obs`` job round-trips.
+* ``perf ...`` — the wall-clock performance observatory: scenario
+  profiling, guarantee-burn reports, flamegraphs, and the
+  ``hermes-bench/1`` regression comparator (see :mod:`repro.obs.perf.cli`).
 """
 
 from __future__ import annotations
@@ -156,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scenario.add_argument("--seed", type=int, default=11, help="workload seed")
     p_scenario.set_defaults(func=_cmd_scenario)
+
+    from .perf.cli import register as register_perf
+
+    register_perf(subparsers)
     return parser
 
 

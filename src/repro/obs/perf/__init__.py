@@ -1,0 +1,77 @@
+"""``repro.obs.perf`` — the wall-clock performance observatory.
+
+Three concerns, one package:
+
+* :mod:`~repro.obs.perf.profiler` — opt-in hotspot attribution over the
+  kernel dispatch path and the tracer span stream (off-path cost: one
+  ``is None`` test; off = byte-identical runs).
+* :mod:`~repro.obs.perf.burn` — the guarantee-burn ledger: SLO
+  compliance, violation windows, and per-layer budget attribution from
+  an existing sim-time trace.
+* :mod:`~repro.obs.perf.bench` — the ``hermes-bench/1`` artifact layer
+  every benchmark suite writes through, plus the regression comparator
+  and the ``results/`` index/history generators.
+
+:mod:`~repro.obs.perf.wallclock` is the repo's single audited seam to
+the host clock — the determinism lint's ``wallclock-seam`` rule keeps
+every other ``src/repro`` module off ``time.perf_counter`` and friends.
+"""
+
+from .bench import (
+    BENCH_FORMAT,
+    HeadlineDelta,
+    bench_artifact,
+    compare,
+    load_artifact,
+    machine_fingerprint,
+    metric_direction,
+    read_history,
+    write_bench_artifact,
+    write_index,
+)
+from .burn import (
+    DEFAULT_GUARANTEE_SECONDS,
+    GuaranteeBurnReport,
+    LayerBurn,
+    ViolationWindow,
+    guarantee_burn,
+)
+from .cli import PERF_FORMAT
+from .flame import trace_collapsed, write_collapsed
+from .profiler import (
+    ProfileReport,
+    Profiler,
+    SpanCost,
+    profile_simulation,
+    subsystem_of,
+)
+from .wallclock import timestamp, unix_time, wallclock
+
+__all__ = [
+    "BENCH_FORMAT",
+    "DEFAULT_GUARANTEE_SECONDS",
+    "GuaranteeBurnReport",
+    "HeadlineDelta",
+    "LayerBurn",
+    "PERF_FORMAT",
+    "ProfileReport",
+    "Profiler",
+    "SpanCost",
+    "ViolationWindow",
+    "bench_artifact",
+    "compare",
+    "guarantee_burn",
+    "load_artifact",
+    "machine_fingerprint",
+    "metric_direction",
+    "profile_simulation",
+    "read_history",
+    "subsystem_of",
+    "timestamp",
+    "trace_collapsed",
+    "unix_time",
+    "wallclock",
+    "write_bench_artifact",
+    "write_collapsed",
+    "write_index",
+]

@@ -1,0 +1,264 @@
+"""The guarantee-burn ledger: SLO compliance from a trace.
+
+Hermes's product is a *latency guarantee* — the paper's default is 5 ms
+per rule installation.  The summarizer already splits every installed
+FlowMod's latency into the four layers of the control path
+(:data:`repro.obs.summary.STAGES`: gatekeeper → queue → tcam → channel);
+this module joins those breakdowns against the configured guarantee and
+reports, as one structured object:
+
+* **compliance** — how many installs landed inside the budget, the
+  violation rate, and the burn-fraction distribution (latency divided by
+  guarantee: 1.0 = the budget exactly spent);
+* **violation windows** — contiguous sim-time intervals holding the
+  violations, merged when closer than ``window_gap`` (a burst of
+  violations reads as one incident, the way an SLO postmortem slices
+  time);
+* **per-layer budget attribution** — how much of the budget each layer
+  burned on average and at the tail, over compliant and violating
+  installs separately, so "the channel ate the budget" and "the TCAM ate
+  the budget" are distinguishable at a glance.
+
+The ledger is pure sim-time arithmetic over an existing trace — it never
+reads the wall clock and never perturbs a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..summary import STAGES, FlowModBreakdown, flowmod_breakdowns, percentile
+
+#: The paper's headline guarantee: 5 ms per rule installation.
+DEFAULT_GUARANTEE_SECONDS = 5e-3
+
+#: Violations closer together than this (sim seconds) merge into one window.
+DEFAULT_WINDOW_GAP = 0.05
+
+
+@dataclass(frozen=True)
+class ViolationWindow:
+    """One contiguous burst of guarantee violations.
+
+    Attributes:
+        start: sim time of the first violating install's start.
+        end: sim time of the last violating install's end.
+        count: violating installs inside the window.
+        worst_seconds: the slowest install's attributed latency.
+        worst_layer: the layer that burned the most budget in the window.
+    """
+
+    start: float
+    end: float
+    count: int
+    worst_seconds: float
+    worst_layer: str
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "count": self.count,
+            "worst_seconds": self.worst_seconds,
+            "worst_layer": self.worst_layer,
+        }
+
+
+@dataclass
+class LayerBurn:
+    """One layer's share of the guarantee budget across installs."""
+
+    mean_seconds: float = 0.0
+    p99_seconds: float = 0.0
+    mean_budget_share: float = 0.0  # mean(layer / guarantee)
+    share_of_latency: float = 0.0  # layer total / all-layer total
+
+    def to_dict(self) -> dict:
+        return {
+            "mean_seconds": self.mean_seconds,
+            "p99_seconds": self.p99_seconds,
+            "mean_budget_share": self.mean_budget_share,
+            "share_of_latency": self.share_of_latency,
+        }
+
+
+@dataclass
+class GuaranteeBurnReport:
+    """Everything the ledger derives from one trace + one guarantee."""
+
+    guarantee_seconds: float
+    installed: int
+    compliant: int
+    violations: int
+    violation_rate: float
+    burn_p50: float
+    burn_p99: float
+    burn_max: float
+    layers: Dict[str, LayerBurn] = field(default_factory=dict)
+    windows: List[ViolationWindow] = field(default_factory=list)
+    worst: List[FlowModBreakdown] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload for artifacts and the CLI's ``--json``."""
+        return {
+            "guarantee_seconds": self.guarantee_seconds,
+            "installed": self.installed,
+            "compliant": self.compliant,
+            "violations": self.violations,
+            "violation_rate": self.violation_rate,
+            "burn_p50": self.burn_p50,
+            "burn_p99": self.burn_p99,
+            "burn_max": self.burn_max,
+            "layers": {
+                name: layer.to_dict() for name, layer in self.layers.items()
+            },
+            "windows": [window.to_dict() for window in self.windows],
+            "worst": [
+                {
+                    "span_id": item.span_id,
+                    "switch": item.switch,
+                    "start": item.start,
+                    "total_seconds": item.total,
+                    "burn": item.total / self.guarantee_seconds,
+                }
+                for item in self.worst
+            ],
+        }
+
+    def render(self) -> str:
+        """The CLI's text report for one ledger."""
+        g_ms = self.guarantee_seconds * 1e3
+        lines = [
+            f"guarantee-burn ledger against a {g_ms:g} ms guarantee:",
+            f"  {self.installed} installed FlowMods, "
+            f"{self.compliant} compliant, {self.violations} violations "
+            f"({self.violation_rate * 100:.2f}%)",
+            f"  budget burn: p50={self.burn_p50 * 100:.1f}%  "
+            f"p99={self.burn_p99 * 100:.1f}%  max={self.burn_max * 100:.1f}%",
+            "",
+            f"  {'layer':<12}{'mean (ms)':>11}{'p99 (ms)':>11}"
+            f"{'of budget':>11}{'of latency':>12}",
+        ]
+        for name in STAGES:
+            layer = self.layers.get(name, LayerBurn())
+            lines.append(
+                f"  {name:<12}{layer.mean_seconds * 1e3:>11.4f}"
+                f"{layer.p99_seconds * 1e3:>11.4f}"
+                f"{layer.mean_budget_share * 100:>10.1f}%"
+                f"{layer.share_of_latency * 100:>11.1f}%"
+            )
+        if self.windows:
+            lines.append("")
+            lines.append(f"  {len(self.windows)} violation window(s):")
+            for window in self.windows:
+                lines.append(
+                    f"    t={window.start:8.3f}-{window.end:8.3f}  "
+                    f"{window.count:>4} violations  worst "
+                    f"{window.worst_seconds * 1e3:.3f} ms "
+                    f"(dominated by {window.worst_layer})"
+                )
+        else:
+            lines.append("")
+            lines.append("  no violation windows: every install met the budget")
+        if self.worst:
+            lines.append("")
+            lines.append("  worst offenders:")
+            for item in self.worst:
+                lines.append(
+                    f"    t={item.start:8.3f} {item.switch:<14} "
+                    f"total={item.total * 1e3:8.3f} ms "
+                    f"({item.total / self.guarantee_seconds * 100:.0f}% of "
+                    f"budget)  gk={item.gatekeeper * 1e3:.3f} "
+                    f"queue={item.queue * 1e3:.3f} tcam={item.tcam * 1e3:.3f} "
+                    f"chan={item.channel * 1e3:.3f}"
+                )
+        return "\n".join(lines)
+
+
+def _dominant_layer(item: FlowModBreakdown) -> str:
+    return max(STAGES, key=lambda stage: item.stage(stage))
+
+
+def _merge_windows(
+    violating: Sequence[FlowModBreakdown], gap: float
+) -> List[ViolationWindow]:
+    windows: List[ViolationWindow] = []
+    current: List[FlowModBreakdown] = []
+    for item in violating:  # breakdowns arrive sorted by start
+        if current and item.start - current[-1].end > gap:
+            windows.append(_freeze_window(current))
+            current = []
+        current.append(item)
+    if current:
+        windows.append(_freeze_window(current))
+    return windows
+
+
+def _freeze_window(items: Sequence[FlowModBreakdown]) -> ViolationWindow:
+    worst = max(items, key=lambda item: item.total)
+    return ViolationWindow(
+        start=items[0].start,
+        end=max(item.end for item in items),
+        count=len(items),
+        worst_seconds=worst.total,
+        worst_layer=_dominant_layer(worst),
+    )
+
+
+def guarantee_burn(
+    source,
+    guarantee: float = DEFAULT_GUARANTEE_SECONDS,
+    window_gap: float = DEFAULT_WINDOW_GAP,
+    top: int = 5,
+) -> GuaranteeBurnReport:
+    """Build the ledger from trace records or ready-made breakdowns.
+
+    Args:
+        source: either a sequence of raw ``hermes-trace/1`` records or a
+            sequence of :class:`~repro.obs.summary.FlowModBreakdown`.
+        guarantee: the per-install budget in sim seconds.
+        window_gap: merge violations closer than this into one window.
+        top: worst offenders to keep on the report.
+
+    Raises:
+        ValueError: on a non-positive guarantee.
+    """
+    if guarantee <= 0:
+        raise ValueError(f"guarantee must be positive: {guarantee!r}")
+    items: Sequence[FlowModBreakdown]
+    if source and isinstance(source[0], FlowModBreakdown):
+        items = list(source)
+    else:
+        items = flowmod_breakdowns(source)
+    violating = [item for item in items if item.total > guarantee]
+    burns = [item.total / guarantee for item in items]
+    total_latency = sum(item.total for item in items)
+    layers: Dict[str, LayerBurn] = {}
+    for name in STAGES:
+        values = [item.stage(name) for item in items]
+        layer_total = sum(values)
+        layers[name] = LayerBurn(
+            mean_seconds=layer_total / len(values) if values else 0.0,
+            p99_seconds=percentile(values, 99),
+            mean_budget_share=(
+                layer_total / (len(values) * guarantee) if values else 0.0
+            ),
+            share_of_latency=(
+                layer_total / total_latency if total_latency > 0 else 0.0
+            ),
+        )
+    worst = sorted(violating or items, key=lambda item: -item.total)[:top]
+    return GuaranteeBurnReport(
+        guarantee_seconds=guarantee,
+        installed=len(items),
+        compliant=len(items) - len(violating),
+        violations=len(violating),
+        violation_rate=len(violating) / len(items) if items else 0.0,
+        burn_p50=percentile(burns, 50),
+        burn_p99=percentile(burns, 99),
+        burn_max=max(burns, default=0.0),
+        layers=layers,
+        windows=_merge_windows(violating, window_gap),
+        worst=worst,
+    )

@@ -1,0 +1,224 @@
+"""The ``perf`` subcommand group of ``python -m repro.obs``.
+
+* ``perf profile SCENARIO`` — run a canned scenario (demo / fig01 /
+  fig08 / chaos) under the wall-clock profiler with tracing on; print
+  the hotspot report and the guarantee-burn ledger; optionally write the
+  ``hermes-perf/1`` JSON artifact, a wall-clock flamegraph, and the
+  trace itself.
+* ``perf report TRACE`` — the guarantee-burn ledger of an existing
+  trace (``--json`` for the structured form).
+* ``perf flamegraph TRACE`` — sim-time collapsed stacks from a trace's
+  span tree (load the output in speedscope or flamegraph.pl).
+* ``perf bench-compare A B`` — diff two ``hermes-bench/1`` artifacts;
+  exits nonzero when a headline metric regressed past the threshold
+  (CI's perf gate).
+* ``perf index [DIR]`` — regenerate ``results/INDEX.md`` from the
+  artifacts on disk.
+
+Heavy imports stay inside the command functions: ``bench-compare`` and
+``index`` must work without numpy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+#: Versioned profile-artifact format tag.
+PERF_FORMAT = "hermes-perf/1"
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from ...experiments.common import canned_scenario
+    from ..export import write_trace
+    from ..tracer import RecordingTracer, use_tracer
+    from .bench import machine_fingerprint
+    from .burn import guarantee_burn
+    from .flame import write_collapsed
+    from .profiler import Profiler
+
+    tracer = RecordingTracer(meta={"scenario": args.scenario})
+    with use_tracer(tracer):
+        simulation, meta = canned_scenario(args.scenario)
+        profiler = Profiler(meta=meta)
+        profiler.watch_simulation(simulation)
+        profiler.watch_tracer(tracer)
+        profiler.begin()
+        metrics = simulation.run()
+    report = profiler.finish()
+    burn = guarantee_burn(tracer.records, guarantee=args.guarantee_ms * 1e-3)
+    print(report.render())
+    print()
+    print(burn.render())
+    print()
+    print(
+        f"{len(metrics.rits())} installs, {len(tracer.records)} trace "
+        f"records, {profiler.events_seen} kernel events"
+    )
+    if args.out:
+        document = {
+            "format": PERF_FORMAT,
+            "scenario": args.scenario,
+            "fingerprint": machine_fingerprint(),
+            "profile": report.to_dict(),
+            "burn": burn.to_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    if args.flame:
+        write_collapsed(report.collapsed(), args.flame)
+        print(f"wrote {args.flame} (wall-clock collapsed stacks)")
+    if args.trace_out:
+        write_trace(tracer, args.trace_out)
+        print(f"wrote {args.trace_out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from ..export import read_trace
+    from .burn import guarantee_burn
+
+    _header, records = read_trace(args.trace)
+    burn = guarantee_burn(
+        records,
+        guarantee=args.guarantee_ms * 1e-3,
+        window_gap=args.window_gap,
+    )
+    if args.json:
+        print(json.dumps(burn.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(burn.render())
+    return 0
+
+
+def _cmd_flamegraph(args: argparse.Namespace) -> int:
+    from ..export import read_trace
+    from .flame import trace_collapsed, write_collapsed
+
+    _header, records = read_trace(args.trace)
+    lines = trace_collapsed(records)
+    if args.out:
+        write_collapsed(lines, args.out)
+        print(f"wrote {args.out} ({len(lines)} stacks, sim-time weights)")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench import compare, load_artifact
+
+    artifact_a = load_artifact(args.baseline)
+    artifact_b = load_artifact(args.candidate)
+    deltas, notes = compare(artifact_a, artifact_b, threshold=args.threshold)
+    print(
+        f"comparing {args.baseline} -> {args.candidate} "
+        f"(threshold {args.threshold * 100:.0f}%)"
+    )
+    for note in notes:
+        print(f"  note: {note}")
+    for delta in deltas:
+        print(f"  {delta}")
+    regressed = [delta for delta in deltas if delta.regressed]
+    if regressed:
+        print(f"FAIL: {len(regressed)} metric(s) regressed")
+        return 1
+    print(f"ok: {len(deltas)} metric(s) within threshold")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from .bench import write_index
+
+    path = write_index(args.dir)
+    print(f"wrote {path}")
+    return 0
+
+
+def register(subparsers) -> None:
+    """Mount the ``perf`` group on ``python -m repro.obs``'s subparsers."""
+    parser = subparsers.add_parser(
+        "perf", help="wall-clock profiling, guarantee burn, bench artifacts"
+    )
+    perf_sub = parser.add_subparsers(dest="perf_command", required=True)
+
+    p_profile = perf_sub.add_parser(
+        "profile", help="profile a canned scenario (hotspots + burn)"
+    )
+    p_profile.add_argument(
+        "scenario", help="canned scenario: demo, fig01, fig08, or chaos"
+    )
+    p_profile.add_argument(
+        "--out", help="write the hermes-perf/1 JSON artifact here"
+    )
+    p_profile.add_argument(
+        "--flame", help="write wall-clock collapsed stacks here"
+    )
+    p_profile.add_argument(
+        "--trace-out", help="write the recorded hermes-trace/1 JSONL here"
+    )
+    p_profile.add_argument(
+        "--guarantee-ms",
+        type=float,
+        default=5.0,
+        help="guarantee for the burn ledger (default 5 ms)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_report = perf_sub.add_parser(
+        "report", help="guarantee-burn ledger of an existing trace"
+    )
+    p_report.add_argument("trace", help="path to a hermes-trace/1 JSONL file")
+    p_report.add_argument(
+        "--guarantee-ms",
+        type=float,
+        default=5.0,
+        help="guarantee budget (default 5 ms)",
+    )
+    p_report.add_argument(
+        "--window-gap",
+        type=float,
+        default=0.05,
+        help="merge violations closer than this (sim s) into one window",
+    )
+    p_report.add_argument(
+        "--json", action="store_true", help="emit the structured report"
+    )
+    p_report.set_defaults(func=_cmd_report)
+
+    p_flame = perf_sub.add_parser(
+        "flamegraph", help="sim-time collapsed stacks from a trace"
+    )
+    p_flame.add_argument("trace", help="path to a hermes-trace/1 JSONL file")
+    p_flame.add_argument(
+        "--out", help="write here instead of stdout"
+    )
+    p_flame.set_defaults(func=_cmd_flamegraph)
+
+    p_compare = perf_sub.add_parser(
+        "bench-compare",
+        help="diff two hermes-bench/1 artifacts; nonzero exit on regression",
+    )
+    p_compare.add_argument("baseline", help="baseline artifact (A)")
+    p_compare.add_argument("candidate", help="candidate artifact (B)")
+    p_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="allowed relative slowdown before failing (default 0.2)",
+    )
+    p_compare.set_defaults(func=_cmd_bench_compare)
+
+    p_index = perf_sub.add_parser(
+        "index", help="regenerate INDEX.md from the artifacts on disk"
+    )
+    p_index.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        help="results directory (default: results/ or $HERMES_BENCH_DIR)",
+    )
+    p_index.set_defaults(func=_cmd_index)

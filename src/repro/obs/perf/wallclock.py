@@ -1,0 +1,48 @@
+"""The one audited wall-clock seam of the reproduction.
+
+Everything else in ``repro`` runs on *simulated* time — the determinism
+lint's ``wall-clock`` rule flags any direct ``time.time()`` /
+``time.perf_counter()`` read, and its ``wallclock-seam`` rule flags them
+*specifically* outside this module, pointing callers here.  Concentrating
+the reads behind :func:`wallclock` keeps the ``det: allow(wall-clock)``
+pragmas in one place that can be audited at a glance: a wall-clock value
+obtained through this seam is a *measurement* (how long the host took),
+never an input to simulation state, tracer timestamps, or RNG seeding.
+
+Three reads are provided:
+
+* :func:`wallclock` — monotonic seconds for interval timing (the
+  profiler's and the benchmarks' stopwatch).
+* :func:`unix_time` — epoch seconds, for artifact timestamps.
+* :func:`timestamp` — an ISO-8601 UTC date string, for human-facing
+  artifact metadata (``results/INDEX.md``, ``perf_history.jsonl``).
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+
+def wallclock() -> float:
+    """Monotonic wall-clock seconds (the process stopwatch).
+
+    The only sanctioned way to time host execution: benchmarks and the
+    :class:`~repro.obs.perf.profiler.Profiler` subtract two readings to
+    measure real CPU cost.  Never feed the value into simulation state.
+    """
+    # det: allow(wall-clock) -- the audited seam: interval measurement only
+    return time.perf_counter()
+
+
+def unix_time() -> float:
+    """Epoch seconds, for machine-readable artifact timestamps."""
+    # det: allow(wall-clock) -- the audited seam: artifact timestamps only
+    return time.time()
+
+
+def timestamp() -> str:
+    """ISO-8601 UTC date-time string (second precision), for artifacts."""
+    # det: allow(wall-clock) -- the audited seam: artifact timestamps only
+    stamp = datetime.now(timezone.utc)
+    return stamp.strftime("%Y-%m-%dT%H:%M:%SZ")

@@ -298,17 +298,22 @@ class Simulation:
             # tests below are identity dispatch (which event fires first),
             # not equality between independently computed floats.
             sanitizer = self._scheduler.sanitizer
+            profiler = self._scheduler.profiler
             # det: allow(float-eq) -- identity dispatch against min()
             if completion_time == next_time and completing_flow is not None:
                 if sanitizer is not None:
                     # Scan-mode completions are loop-ordered (the ETA scan
                     # picks them), not seq-ordered: not race material.
                     sanitizer.external("scan-completion")
+                if profiler is not None:
+                    profiler.mark("sim.completion")
                 self._complete_flow(completing_flow)
             # det: allow(float-eq) -- identity dispatch against min()
             elif arrival_time == next_time:
                 if sanitizer is not None:
                     sanitizer.external("arrival")
+                if profiler is not None:
+                    profiler.mark("sim.arrival")
                 self._admit_next_flow()
             else:
                 event = self._scheduler.pop()
@@ -364,6 +369,8 @@ class Simulation:
                     # Arrival order is fixed by the sorted workload and the
                     # loop's explicit arrival-vs-event rule, not by seq.
                     self._scheduler.sanitizer.external("arrival")
+                if self._scheduler.profiler is not None:
+                    self._scheduler.profiler.mark("sim.arrival")
                 self._admit_next_flow()
             else:
                 event = self._scheduler.pop()

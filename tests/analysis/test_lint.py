@@ -12,6 +12,7 @@ from repro.analysis.lint import (
     UNORDERED_ITERATION,
     UNSEEDED_RANDOM,
     WALL_CLOCK,
+    WALLCLOCK_SEAM,
     apply_fixes,
     fix_paths,
     format_findings,
@@ -78,6 +79,42 @@ class TestWallClock:
 
     def test_sleep_is_not_a_clock_read(self):
         assert check("import time\ntime.sleep(1)\n") == []
+
+
+class TestWallclockSeam:
+    CODE = "import time\nt = time.perf_counter()\n"
+
+    def test_direct_read_under_repro_flagged_twice(self):
+        findings = lint_source(self.CODE, "src/repro/engine/sweep.py")
+        assert rules_of(findings) == [WALL_CLOCK, WALLCLOCK_SEAM]
+
+    def test_perf_package_owns_the_seam(self):
+        findings = lint_source(
+            self.CODE, "src/repro/obs/perf/wallclock.py"
+        )
+        assert rules_of(findings) == [WALL_CLOCK]
+
+    def test_paths_outside_repro_exempt(self):
+        assert rules_of(lint_source(self.CODE, "benchmarks/conftest.py")) == [
+            WALL_CLOCK
+        ]
+
+    def test_wall_clock_pragma_does_not_cover_the_seam(self):
+        code = (
+            "import time\n"
+            "# det: allow(wall-clock) -- measures real cost\n"
+            "t = time.perf_counter()\n"
+        )
+        findings = lint_source(code, "src/repro/experiments/fig15_cpu.py")
+        assert rules_of(findings) == [WALLCLOCK_SEAM]
+
+    def test_seam_pragma_suppresses(self):
+        code = (
+            "import time\n"
+            "# det: allow(wall-clock, wallclock-seam) -- the seam itself\n"
+            "t = time.perf_counter()\n"
+        )
+        assert lint_source(code, "src/repro/experiments/fig15_cpu.py") == []
 
 
 class TestUnorderedIteration:

@@ -1,0 +1,214 @@
+"""Edge cases across ``repro.obs``: empty traces, orphans, Prometheus.
+
+Observability code runs on whatever a scenario happened to emit — an
+aborted run's empty trace, a crashed layer's orphaned spans — so the
+summarizer, exporters, and flamegraph folder must degrade to sensible
+output instead of raising.  The Prometheus exporter is checked against a
+minimal text-format parser rather than string spot-checks: every sample
+must belong to a declared metric family, and histograms must satisfy the
+cumulative-bucket contract scrapers rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    RecordingTracer,
+    chrome_trace,
+    parse_trace_lines,
+    trace_lines,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.perf.flame import trace_collapsed
+from repro.obs.summary import flowmod_breakdowns, render_summary, summarize
+
+
+class TestEmptyTrace:
+    def test_summarize_an_empty_recording(self):
+        tracer = RecordingTracer(meta={"scenario": "aborted"})
+        header, records = parse_trace_lines(trace_lines(tracer))
+        summary = summarize(header, records)
+        assert summary.breakdowns == []
+        assert summary.record_counts == {}
+        assert summary.span_range == (0.0, 0.0)
+        text = render_summary(summary)
+        assert "0 installed FlowMods" in text
+
+    def test_exporters_on_an_empty_recording(self):
+        tracer = RecordingTracer()
+        payload = chrome_trace(tracer.records)
+        # Only thread-name metadata events; no spans, counters, instants.
+        assert all(event["ph"] == "M" for event in payload["traceEvents"])
+        assert trace_collapsed(tracer.records) == []
+        assert tracer.metrics.prometheus_text() == ""
+
+    def test_trace_lines_still_carry_the_header(self):
+        tracer = RecordingTracer(meta={"k": "v"})
+        lines = trace_lines(tracer)
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["format"] == "hermes-trace/1"
+        assert header["meta"] == {"k": "v"}
+
+
+class TestOrphanedSpans:
+    def test_flowmod_without_actions_is_not_installed(self):
+        # An undelivered send: the flowmod span closed but no agent ran.
+        records = [
+            {"type": "span", "id": 1, "parent": 0, "name": "flowmod",
+             "start": 0.0, "end": 0.01,
+             "attrs": {"attempts": 3, "delivered": False}},
+        ]
+        assert flowmod_breakdowns(records) == []
+
+    def test_action_whose_parent_never_finished(self):
+        # The enclosing flowmod span is missing from the stream (still
+        # open at shutdown): the action must surface channel-less rather
+        # than vanish.
+        records = [
+            {"type": "span", "id": 7, "parent": 3, "name": "agent.action",
+             "start": 0.0, "end": 0.002,
+             "attrs": {"switch": "s1", "command": "add"}},
+        ]
+        items = flowmod_breakdowns(records)
+        assert len(items) == 1
+        assert items[0].channel == 0.0
+        assert items[0].tcam == pytest.approx(0.002)
+
+    def test_orphaned_span_roots_its_own_flame_stack(self):
+        records = [
+            {"type": "span", "id": 7, "parent": 3, "name": "agent.action",
+             "start": 0.0, "end": 0.002, "attrs": {}},
+        ]
+        assert trace_collapsed(records) == ["agent.action 2000"]
+
+    def test_open_spans_do_not_emit_records(self):
+        tracer = RecordingTracer()
+        tracer.start_span("flowmod", 0.0)
+        assert tracer.records == []
+        assert len(tracer.open_spans()) == 1
+        summary = summarize({}, tracer.records)
+        assert summary.breakdowns == []
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text-format conformance
+# ---------------------------------------------------------------------------
+
+def _parse_prometheus(text):
+    """Minimal text-format parser: (families, samples).
+
+    families: name -> type from ``# TYPE`` lines.
+    samples: list of (metric_name, labels_dict, value).
+    """
+    families = {}
+    samples = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            families[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        labels = {}
+        name = body
+        if "{" in body:
+            name, _, label_body = body.partition("{")
+            assert label_body.endswith("}")
+            for part in label_body[:-1].split(","):
+                key, _, raw = part.partition("=")
+                assert raw.startswith('"') and raw.endswith('"')
+                labels[key] = raw[1:-1]
+        samples.append((name, labels, float(value)))
+    return families, samples
+
+
+def _family_of(sample_name, families):
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base in families and families[base] == "histogram":
+            return base
+    return sample_name if sample_name in families else None
+
+
+@pytest.fixture()
+def folded_registry():
+    """A registry filled through the real record→metric fold."""
+    tracer = RecordingTracer()
+    span = tracer.start_span("flowmod", 0.0, attempts=2, delivered=True)
+    action = tracer.start_span(
+        "agent.action", 0.001, switch="s1", command="add",
+        queue_delay=0.0005, exec_latency=0.001, shifts=3,
+    )
+    action.finish(0.003)
+    span.finish(0.004)
+    tracer.event("hermes.gatekeeper", 0.001, reason="guarantee")
+    tracer.event("channel.timeout", 0.002)
+    tracer.sample("tcam.occupancy", 0.004, 17.0, switch="s1")
+    return tracer.metrics
+
+
+class TestPrometheusConformance:
+    def test_every_sample_belongs_to_a_declared_family(self, folded_registry):
+        families, samples = _parse_prometheus(
+            folded_registry.prometheus_text()
+        )
+        assert samples
+        for name, _labels, _value in samples:
+            assert _family_of(name, families) is not None, name
+
+    def test_counter_names_end_in_total(self, folded_registry):
+        families, _ = _parse_prometheus(folded_registry.prometheus_text())
+        for name, kind in families.items():
+            if kind == "counter":
+                assert name.endswith("_total"), name
+
+    def test_histogram_buckets_are_cumulative_with_inf(self, folded_registry):
+        families, samples = _parse_prometheus(
+            folded_registry.prometheus_text()
+        )
+        histograms = [n for n, k in families.items() if k == "histogram"]
+        assert histograms
+        for base in histograms:
+            buckets = [
+                (labels["le"], value)
+                for name, labels, value in samples
+                if name == f"{base}_bucket"
+            ]
+            assert buckets[-1][0] == "+Inf"
+            counts = [value for _le, value in buckets]
+            assert counts == sorted(counts)
+            count = next(
+                value for name, _l, value in samples
+                if name == f"{base}_count"
+            )
+            assert counts[-1] == count
+
+    def test_label_values_render_quoted(self, folded_registry):
+        _families, samples = _parse_prometheus(
+            folded_registry.prometheus_text()
+        )
+        gauge = [
+            (labels, value)
+            for name, labels, value in samples
+            if name == "tcam_occupancy"
+        ]
+        assert gauge == [({"switch": "s1"}, 17.0)]
+
+    def test_hand_built_registry_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("demo_total", help="a demo counter").inc(2, kind="x")
+        registry.gauge("demo_level").set(1.5)
+        registry.histogram("demo_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        families, samples = _parse_prometheus(registry.prometheus_text())
+        assert families == {
+            "demo_total": "counter",
+            "demo_level": "gauge",
+            "demo_seconds": "histogram",
+        }
+        assert ("demo_total", {"kind": "x"}, 2.0) in samples
+        assert ("demo_level", {}, 1.5) in samples

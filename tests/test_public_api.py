@@ -11,6 +11,8 @@ import repro.bgp
 import repro.core
 import repro.engine
 import repro.experiments
+import repro.obs
+import repro.obs.perf
 import repro.simulator
 import repro.switchsim
 import repro.tcam
@@ -24,6 +26,8 @@ PACKAGES = [
     repro.bgp,
     repro.core,
     repro.engine,
+    repro.obs,
+    repro.obs.perf,
     repro.simulator,
     repro.switchsim,
     repro.tcam,
