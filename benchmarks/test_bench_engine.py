@@ -1,7 +1,8 @@
-"""Benchmark: the discrete-event kernel's two completion strategies and
-the process-parallel sweep runner.
+"""Benchmark: the discrete-event kernel's two completion strategies, the
+process-parallel sweep runner, and the columnar flow-state engine's
+scaling curve.
 
-Three measurements land in one JSON artifact (``BENCH_engine.json``):
+Four measurements land in one JSON artifact (``BENCH_engine.json``):
 
 * **dispatch micro-benchmark** — a real :class:`~repro.simulator.Simulation`
   is loaded with ≥10k active flows and the cost of ``K`` dispatches is
@@ -23,6 +24,21 @@ Three measurements land in one JSON artifact (``BENCH_engine.json``):
   up, and asserting there only records lies (an earlier artifact pinned a
   0.91× "speedup" from exactly that).  The artifact always records the
   honest timings and ``os.cpu_count()``.
+* **flow-state scaling curve** — the ``flow_state="columnar"`` backend
+  (:class:`~repro.simulator.flowstate.FlowStore`) against the object/dict
+  reference, 1k → 1M flows.  Two probes per size: the rate-recompute
+  microbenchmark times ``_recompute_rates()`` on a loaded simulation
+  (the O(links × flows) progressive filling both backends implement),
+  and a full event-mode run with batched same-instant arrivals and a
+  ``max_time`` cut proves the size actually *runs* end to end.  The
+  object backend is measured up to ``BENCH_ENGINE_SCALE_OBJECTS_CAP``
+  flows and linearly projected beyond (1M ``_ActiveFlow`` + ``dict``
+  fillings would take minutes and say nothing new); full object-backend
+  runs stop at 1k flows because without the columnar backend's
+  same-instant recompute batching an N-flow burst costs N fillings —
+  quadratic admission work the curve exists to retire.  At 100k flows
+  the columnar recompute must be ≥10× faster, and the largest size must
+  complete a run with every flow concurrently active.
 
 Environment knobs:
     ``BENCH_ENGINE_FLOWS``            active flows in the dispatch
@@ -32,10 +48,18 @@ Environment knobs:
     ``BENCH_ENGINE_SWEEP_WORKERS``    parallel worker count (default 4).
     ``BENCH_ENGINE_REQUIRE_SPEEDUP``  set to 1 to assert the ≥2× sweep
                                       speedup (CI, multi-core only).
+    ``BENCH_ENGINE_SCALE_MAX``        largest flow count on the scaling
+                                      curve (default 1000000; CI's scale
+                                      job caps it at 100000).
+    ``BENCH_ENGINE_SCALE_OBJECTS_CAP``  largest flow count at which the
+                                      object backend's recompute is
+                                      measured rather than projected
+                                      (default 100000).
     ``BENCH_ENGINE_OUT``              artifact path (default
                                       ``results/BENCH_engine.json``).
 """
 
+import math
 import os
 import time
 
@@ -162,6 +186,156 @@ def end_to_end_comparison(flow_count=300):
     }
 
 
+SCALE_SIZES = (1_000, 10_000, 100_000, 1_000_000)
+SCALE_INSTANTS = 10
+# Full object-backend runs stop here: every burst arrival pays a whole
+# progressive filling (no same-instant batching), so run time grows
+# quadratically in the flow count.
+SCALE_OBJECTS_RUN_CAP = 1_000
+
+
+def _scaling_flows(count, instants=SCALE_INSTANTS, seed=23):
+    """``count`` flows in ``instants`` same-instant batches on a k=4 pod.
+
+    Sizes are large (≈1 GB) so no flow can complete before the run's
+    ``max_time`` cut — the curve measures arrival/recompute scaling, not
+    completion dynamics.
+    """
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    endpoints = hosts(graph)
+    rng = np.random.default_rng(seed)
+    per_instant = max(1, count // instants)
+    flows = []
+    for index in range(count):
+        source = endpoints[index % len(endpoints)]
+        destination = endpoints[(index * 7 + 3) % len(endpoints)]
+        if source == destination:
+            destination = endpoints[(index * 7 + 4) % len(endpoints)]
+        flows.append(
+            FlowSpec(
+                source=source,
+                destination=destination,
+                size=1e9 + float(rng.integers(0, 1e6)),
+                start_time=0.01 * min(index // per_instant, instants - 1),
+            )
+        )
+    return graph, flows
+
+
+def _scale_config(flow_state, completion_mode="scan"):
+    return SimulationConfig(
+        te=TeAppConfig(epoch=1e6),
+        baseline_occupancy=0,
+        flow_state=flow_state,
+        completion_mode=completion_mode,
+        max_time=0.5,
+    )
+
+
+def _loaded_backend(graph, flows, flow_state):
+    """A Simulation with every flow active on its real provider path.
+
+    Flows are injected directly (as in :func:`_loaded_simulation`) so the
+    recompute timing below isolates the progressive filling from
+    arrival dispatch."""
+    timing = get_switch_model("pica8-p3290")
+    factory = lambda name: make_installer("naive", timing)
+    simulation = Simulation(graph, flows[:1], factory, _scale_config(flow_state))
+    for spec in flows:
+        path = simulation.provider.ecmp_paths(spec.source, spec.destination)[0]
+        if simulation._store is not None:
+            simulation._store.add(spec, path)
+        else:
+            simulation._active[spec.flow_id] = _ActiveFlow(
+                spec=spec, remaining_bytes=spec.size, path=path
+            )
+    return simulation
+
+
+def _time_recompute(simulation, repeats):
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        simulation._recompute_rates()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _timed_run(graph, flows, flow_state):
+    timing = get_switch_model("pica8-p3290")
+    factory = lambda name: make_installer("naive", timing)
+    simulation = Simulation(
+        graph, flows, factory, _scale_config(flow_state, completion_mode="event")
+    )
+    start = time.perf_counter()
+    metrics = simulation.run()
+    seconds = time.perf_counter() - start
+    return seconds, metrics.peak_active
+
+
+def flow_state_scaling(scale_max, objects_cap):
+    """The 1k → 1M curve: columnar vs object flow state at each size."""
+    sizes = [size for size in SCALE_SIZES if size <= scale_max]
+    if not sizes:
+        sizes = [min(SCALE_SIZES)]
+    recompute_rows = []
+    run_rows = []
+    objects_anchor = None  # (flows, measured seconds) for projection
+    for size in sizes:
+        graph, flows = _scaling_flows(size)
+        # Best-of-N timings: the speedup gate compares two measurements,
+        # so noise on either side must not fake a regression.
+        repeats = 3 if size <= 100_000 else 2
+
+        columnar = _loaded_backend(graph, flows, "columnar")
+        columnar_seconds = _time_recompute(columnar, repeats)
+        del columnar
+
+        row = {
+            "flows": size,
+            "columnar_recompute_seconds": columnar_seconds,
+            "objects_recompute_seconds": None,
+            "objects_projected": False,
+            "speedup": None,
+        }
+        if size <= objects_cap:
+            objects = _loaded_backend(graph, flows, "objects")
+            row["objects_recompute_seconds"] = _time_recompute(objects, repeats)
+            objects_anchor = (size, row["objects_recompute_seconds"])
+            del objects
+        elif objects_anchor is not None:
+            anchor_flows, anchor_seconds = objects_anchor
+            row["objects_recompute_seconds"] = anchor_seconds * size / anchor_flows
+            row["objects_projected"] = True
+        if row["objects_recompute_seconds"]:
+            row["speedup"] = row["objects_recompute_seconds"] / max(
+                columnar_seconds, 1e-9
+            )
+        recompute_rows.append(row)
+
+        run_seconds, peak = _timed_run(graph, flows, "columnar")
+        assert peak == size, (
+            f"columnar run at {size} flows peaked at {peak} concurrent flows"
+        )
+        run_rows.append(
+            {"flows": size, "backend": "columnar", "seconds": run_seconds}
+        )
+        if size <= SCALE_OBJECTS_RUN_CAP:
+            run_seconds, peak = _timed_run(graph, flows, "objects")
+            assert peak == size
+            run_rows.append(
+                {"flows": size, "backend": "objects", "seconds": run_seconds}
+            )
+    return {
+        "sizes": sizes,
+        "instants": SCALE_INSTANTS,
+        "objects_measure_cap": objects_cap,
+        "objects_run_cap": SCALE_OBJECTS_RUN_CAP,
+        "recompute": recompute_rows,
+        "runs": run_rows,
+    }
+
+
 def sweep_speedup(workers):
     config = SensitivityConfig(duration=1.0)
     start = time.perf_counter()
@@ -190,16 +364,26 @@ def run_bench():
         int(os.environ.get("BENCH_ENGINE_SWEEP_WORKERS", "4")),
         max(cpu_count, 1),
     )
+    scale_max = int(os.environ.get("BENCH_ENGINE_SCALE_MAX", "1000000"))
+    objects_cap = int(
+        os.environ.get("BENCH_ENGINE_SCALE_OBJECTS_CAP", "100000")
+    )
     return {
         "cpu_count": cpu_count,
         "dispatch": dispatch_microbench(flow_count, dispatches),
         "end_to_end": end_to_end_comparison(),
         "sweep": sweep_speedup(max(workers, 1)),
+        "flow_scaling": flow_state_scaling(scale_max, objects_cap),
     }
 
 
 def test_bench_engine(benchmark):
     payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    columnar_runs = [
+        row
+        for row in payload["flow_scaling"]["runs"]
+        if row["backend"] == "columnar"
+    ]
     write_bench_artifact(
         "engine",
         headline={
@@ -207,6 +391,13 @@ def test_bench_engine(benchmark):
             "dispatch_event_seconds": payload["dispatch"]["event_seconds"],
             "end_to_end_event_seconds": payload["end_to_end"]["event_seconds"],
             "sweep_speedup": payload["sweep"]["speedup"],
+            "flow_scaling_max_flows": payload["flow_scaling"]["sizes"][-1],
+            "flow_scaling_recompute_speedup": max(
+                row["speedup"] or 0.0
+                for row in payload["flow_scaling"]["recompute"]
+                if not row["objects_projected"]
+            ),
+            "flow_scaling_columnar_run_seconds": columnar_runs[-1]["seconds"],
         },
         payload=payload,
         out=os.environ.get("BENCH_ENGINE_OUT"),
@@ -233,10 +424,45 @@ def test_bench_engine(benchmark):
         f"({sweep['speedup']:.2f}x)"
     )
 
+    scaling = payload["flow_scaling"]
+    for row in scaling["recompute"]:
+        objects_note = "-"
+        if row["objects_recompute_seconds"] is not None:
+            suffix = " (projected)" if row["objects_projected"] else ""
+            objects_note = (
+                f"{row['objects_recompute_seconds']:.4f}s{suffix} "
+                f"({row['speedup']:.1f}x)"
+            )
+        print(
+            f"recompute @ {row['flows']:>7} flows: "
+            f"columnar={row['columnar_recompute_seconds']:.4f}s "
+            f"objects={objects_note}"
+        )
+    for row in scaling["runs"]:
+        print(
+            f"run @ {row['flows']:>7} flows [{row['backend']}]: "
+            f"{row['seconds']:.2f}s"
+        )
+
     # The headline: scheduled completions beat the per-dispatch ETA scan by
     # orders of magnitude once the active set is large.
     assert dispatch["flows"] >= 10_000
     assert dispatch["speedup"] >= 10, dispatch
+
+    # The columnar contract: ≥10× faster rate recompute at 100k flows
+    # (measured head-to-head, not projected) and a completed run at the
+    # curve's largest size with every flow concurrently active (the
+    # per-size assert in flow_state_scaling already checked the peaks).
+    measured = {
+        row["flows"]: row
+        for row in scaling["recompute"]
+        if row["objects_recompute_seconds"] is not None
+        and not row["objects_projected"]
+    }
+    if 100_000 in measured:
+        assert measured[100_000]["speedup"] >= 10, measured[100_000]
+    assert columnar_runs[-1]["flows"] == scaling["sizes"][-1]
+
     if payload["cpu_count"] < 2:
         # A 1-core runner cannot parallelize; the artifact records the
         # honest timings but a speedup assertion there is meaningless.

@@ -31,7 +31,13 @@ Rules
     ``list``/``tuple``/``enumerate``/``iter``/``sum`` — where hash order
     can reach event scheduling.  Order-insensitive sinks (``sorted``,
     ``min``, ``max``, ``len``, ``any``, ``all``, set-to-set operations)
-    are allowed.  The same rule also covers environment/filesystem
+    are allowed.  Two flow-insensitive inferences extend the reach beyond
+    literal set expressions: a local *name* whose latest assignment was a
+    set expression (or whose annotation is ``set``/``Set[...]``) is
+    treated as a set, and a *subscript* of a name annotated
+    ``Dict[..., Set[...]]`` (the ``flows_on_link`` shape that once made
+    ``max_min_fair_rates``'s float accumulation hash-ordered) is treated
+    as a set.  The same rule also covers environment/filesystem
     iteration order: ``os.environ`` (and its ``.keys()``/``.values()``/
     ``.items()`` views), ``os.listdir()``, ``os.scandir()``, and
     ``Path.iterdir()`` all follow OS-dependent order, which two machines
@@ -252,6 +258,46 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
+#: Annotation heads that declare a set-valued name.
+_SET_ANNOTATIONS = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "AbstractSet",
+    "MutableSet",
+}
+#: Annotation heads that declare a mapping (checked for set-typed values).
+_DICT_ANNOTATIONS = {
+    "dict",
+    "Dict",
+    "defaultdict",
+    "DefaultDict",
+    "Mapping",
+    "MutableMapping",
+}
+
+
+def _annotation_is_set(node: ast.AST) -> bool:
+    """True for annotations declaring a set: ``set``, ``Set[int]``, ..."""
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    return _identifier_of(node) in _SET_ANNOTATIONS
+
+
+def _annotation_is_dict_of_sets(node: ast.AST) -> bool:
+    """True for ``Dict[K, Set[...]]``-shaped annotations, whose subscripts
+    are sets (the ``flows_on_link`` shape)."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    if _identifier_of(node.value) not in _DICT_ANNOTATIONS:
+        return False
+    value_slice = node.slice
+    if isinstance(value_slice, ast.Tuple) and len(value_slice.elts) == 2:
+        return _annotation_is_set(value_slice.elts[1])
+    return False
+
+
 #: OS-iteration sources: name -> (description, autofix is provably safe).
 _UNORDERED_FS_FUNCS = {"listdir": True, "scandir": False}
 _ENVIRON_VIEWS = {"keys", "values", "items"}
@@ -266,6 +312,11 @@ class _DeterminismVisitor(ast.NodeVisitor):
         self._os_imports: Dict[str, str] = {}  # local alias -> os.* name
         self._heapq_imports: Set[str] = set()
         self._exempt_nodes: Set[int] = set()
+        # Flow-insensitive type inference feeding unordered-iteration:
+        # names whose latest binding (or annotation) is a set, and names
+        # annotated Dict[..., Set[...]] whose subscripts are sets.
+        self._set_vars: Set[str] = set()
+        self._dict_of_set_vars: Set[str] = set()
         # The kernel is the one place allowed to own a heap and mutate
         # simulated time; everything else must go through it.
         normalized = path.replace(os.sep, "/")
@@ -301,6 +352,64 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 span=span,
             )
         )
+
+    def _is_set_like(self, node: ast.AST) -> bool:
+        """Set expressions plus the two inferred shapes: set-typed local
+        names and subscripts of ``Dict[..., Set[...]]``-annotated names."""
+        if _is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self._set_vars
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._dict_of_set_vars
+        ):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_like(node.left) or self._is_set_like(node.right)
+        return False
+
+    def _bind_name(self, name: str, value: Optional[ast.AST]) -> None:
+        """Record whether ``name``'s new binding is a set (latest wins)."""
+        if value is not None and self._is_set_like(value):
+            self._set_vars.add(name)
+        else:
+            self._set_vars.discard(name)
+            self._dict_of_set_vars.discard(name)
+
+    def _bind_annotated(self, name: str, annotation: ast.AST) -> None:
+        """Record a name's declared type from an annotation."""
+        if _annotation_is_set(annotation):
+            self._set_vars.add(name)
+        elif _annotation_is_dict_of_sets(annotation):
+            self._dict_of_set_vars.add(name)
+        else:
+            self._set_vars.discard(name)
+            self._dict_of_set_vars.discard(name)
+
+    def _visit_function(self, node) -> None:
+        """Scope the set-inference to the function body: argument
+        annotations seed it, and local bindings don't leak out."""
+        saved_sets = set(self._set_vars)
+        saved_dicts = set(self._dict_of_set_vars)
+        args = node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [args.vararg, args.kwarg]
+        ):
+            if arg is not None and arg.annotation is not None:
+                self._bind_annotated(arg.arg, arg.annotation)
+        self.generic_visit(node)
+        self._set_vars = saved_sets
+        self._dict_of_set_vars = saved_dicts
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
 
     def _is_environ(self, node: ast.AST) -> bool:
         if isinstance(node, ast.Attribute):
@@ -488,7 +597,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
             or id(node.args[0]) in self._exempt_nodes
         ):
             return
-        if _is_set_expr(node.args[0]):
+        if self._is_set_like(node.args[0]):
             self._flag(
                 node,
                 UNORDERED_ITERATION,
@@ -509,7 +618,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
 
     # -- iteration ----------------------------------------------------
     def visit_For(self, node: ast.For) -> None:
-        if _is_set_expr(node.iter) and id(node.iter) not in self._exempt_nodes:
+        if self._is_set_like(node.iter) and id(node.iter) not in self._exempt_nodes:
             self._flag(
                 node,
                 UNORDERED_ITERATION,
@@ -536,7 +645,7 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 continue
             if id(node) in self._exempt_nodes:
                 continue
-            if _is_set_expr(generator.iter):
+            if self._is_set_like(generator.iter):
                 self._flag(
                     generator.iter,
                     UNORDERED_ITERATION,
@@ -578,6 +687,13 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 # ast.walk reaches attributes inside tuple/list targets.
                 for sub in ast.walk(target):
                     self._check_time_attr_target(sub)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self._bind_name(target.id, node.value)
+            else:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        self._bind_name(sub.id, None)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -588,6 +704,8 @@ class _DeterminismVisitor(ast.NodeVisitor):
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if not self._in_engine and node.value is not None:
             self._check_time_attr_target(node.target)
+        if isinstance(node.target, ast.Name):
+            self._bind_annotated(node.target.id, node.annotation)
         self.generic_visit(node)
 
     # -- comparisons --------------------------------------------------

@@ -71,11 +71,11 @@ def run(config: BgpConfig = BgpConfig()) -> ExperimentResult:
         )
         rates = [rate for _, rate in update_rate_series(updates)]
         trace = fib_trace(router_name, config)
-        add_indices = {
+        add_indices = [
             index
             for index, timed in enumerate(trace)
             if timed.flow_mod.command is FlowModCommand.ADD
-        }
+        ]
 
         raw = replay_trace(trace, "naive", config.switch, seed=config.seed)
         hermes = replay_trace(

@@ -55,6 +55,7 @@ _SUBSYSTEM_PREFIXES: Tuple[Tuple[str, str], ...] = (
     ("event:", "kernel-dispatch"),
     ("sim.arrival", "arrival"),
     ("sim.completion", "completion"),
+    ("sim.fairshare", "fairshare"),
     ("span:flowmod", "channel"),
     ("span:channel", "channel"),
     ("span:agent.", "switch-cpu"),

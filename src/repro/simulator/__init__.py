@@ -7,13 +7,22 @@ from .controller import (
     flow_match,
     flow_rule_priority,
 )
-from .fairshare import Link, link_utilization, max_min_fair_rates
+from .fairshare import (
+    Link,
+    UNCONSTRAINED_RATE,
+    flow_sort_key,
+    link_utilization,
+    max_min_fair_rates,
+)
+from .flowstate import FlowColumnView, FlowStore, columnar_max_min_fair_rates
 from .metrics import FlowRecord, MetricsCollector
 from .sdnapp import ProactiveTeApp, Reroute, TeAppConfig
 from .simulation import Simulation, SimulationConfig
 
 __all__ = [
+    "FlowColumnView",
     "FlowRecord",
+    "FlowStore",
     "InstallOutcome",
     "InstallerFactory",
     "Link",
@@ -24,9 +33,11 @@ __all__ = [
     "Simulation",
     "SimulationConfig",
     "TeAppConfig",
+    "UNCONSTRAINED_RATE",
+    "columnar_max_min_fair_rates",
     "flow_match",
     "flow_rule_priority",
-    "link_utilization",
+    "flow_sort_key",
     "link_utilization",
     "max_min_fair_rates",
 ]

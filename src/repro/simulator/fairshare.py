@@ -12,6 +12,20 @@ from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
 
 Link = Tuple[str, str]
 
+#: Sentinel rate for flows whose path traverses no links (same-host
+#: transfers): effectively infinite, shared with the columnar backend.
+UNCONSTRAINED_RATE = 1e15
+
+
+def flow_sort_key(flow_id: Hashable) -> Tuple[str, Hashable]:
+    """Deterministic, type-stable sort key for flow ids.
+
+    Flow ids are ints in the simulator but any Hashable in the library
+    API; keying by ``(type name, value)`` keeps same-type ids in natural
+    order while never comparing values of different types.
+    """
+    return (type(flow_id).__name__, flow_id)
+
 
 def max_min_fair_rates(
     flow_paths: Mapping[Hashable, Sequence[Link]],
@@ -31,8 +45,6 @@ def max_min_fair_rates(
     Raises:
         KeyError: when a path uses a link with no declared capacity.
     """
-    UNCONSTRAINED_RATE = 1e15  # effectively infinite for same-host flows
-
     rates: Dict[Hashable, float] = {}
     active: Dict[Hashable, List[Link]] = {}
     flows_on_link: Dict[Link, set] = {}
@@ -65,7 +77,13 @@ def max_min_fair_rates(
                 bottleneck_link = link
         if bottleneck_link is None:
             break
-        frozen = list(flows_on_link[bottleneck_link])
+        # Sort the frozen set: iterating it directly would visit flows in
+        # hash order, which for str ids varies with PYTHONHASHSEED.  Every
+        # frozen flow subtracts the *same* bottleneck_share, so the order
+        # cannot change any float result — but it does fix the insertion
+        # order of ``rates``, keeping downstream iteration deterministic
+        # across processes.
+        frozen = sorted(flows_on_link[bottleneck_link], key=flow_sort_key)
         for flow_id in frozen:
             rates[flow_id] = max(0.0, bottleneck_share)
             for link in active[flow_id]:

@@ -52,6 +52,7 @@ class MetricsCollector:
         self._retries = 0
         self._undelivered = 0
         self._fault_counts: Dict[str, int] = {}
+        self._peak_active = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -96,6 +97,17 @@ class MetricsCollector:
     def record_fault(self, kind: str, count: int = 1) -> None:
         """Count injected fault events by kind (mirrors the FaultLog)."""
         self._fault_counts[kind] = self._fault_counts.get(kind, 0) + count
+
+    def record_active_peak(self, count: int) -> None:
+        """Track the high-water mark of concurrently active flows.
+
+        The simulator reports its backend's live count (``len`` of the
+        columnar :class:`~repro.simulator.flowstate.FlowStore` or of the
+        object dict) after each admission; the collector keeps the max —
+        the concurrency the scaling curve reports against.
+        """
+        if count > self._peak_active:
+            self._peak_active = count
 
     # ------------------------------------------------------------------
     # Queries
@@ -161,3 +173,8 @@ class MetricsCollector:
     def fault_counts(self) -> Dict[str, int]:
         """Injected fault events by kind."""
         return dict(self._fault_counts)
+
+    @property
+    def peak_active(self) -> int:
+        """Most flows simultaneously active across the run."""
+        return self._peak_active

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
 from ..obs.tracer import get_tracer
-from ..topology.routing import Path, PathProvider, path_links
+from ..topology.routing import Path, PathProvider, path_links_cached
 from ..traffic.flows import FlowSpec
 from .fairshare import Link
 
@@ -107,7 +107,7 @@ class ProactiveTeApp:
                 (
                     flow_id
                     for flow_id, path in current_paths.items()
-                    if hot_link in path_links(path) and flow_id not in moved_flows
+                    if hot_link in path_links_cached(path) and flow_id not in moved_flows
                 ),
                 key=lambda flow_id: -rates.get(flow_id, 0.0),
             )
@@ -160,7 +160,7 @@ class ProactiveTeApp:
         """A path's cost: the utilization of its hottest link."""
         del exclude_rate  # the flow's own share is symmetric across options
         return max(
-            (utilization.get(link, 0.0) for link in path_links(path)), default=0.0
+            (utilization.get(link, 0.0) for link in path_links_cached(path)), default=0.0
         )
 
     @staticmethod
@@ -172,12 +172,12 @@ class ProactiveTeApp:
         capacities: Mapping[Link, float],
     ) -> None:
         """Move ``rate`` worth of load from old_path to new_path in place."""
-        for link in path_links(old_path):
+        for link in path_links_cached(old_path):
             capacity = capacities.get(link, 0.0)
             if capacity > 0:
                 # det: allow(shared-state-mutation) -- planner scratch dict, local to one plan() call
                 utilization[link] = utilization.get(link, 0.0) - rate / capacity
-        for link in path_links(new_path):
+        for link in path_links_cached(new_path):
             capacity = capacities.get(link, 0.0)
             if capacity > 0:
                 # det: allow(shared-state-mutation) -- planner scratch dict, local to one plan() call

@@ -23,10 +23,11 @@ from ..faults.injector import FaultInjector
 from ..faults.spec import FaultPlan
 from ..obs.tracer import get_tracer
 from ..switchsim.channel import ChannelConfig
-from ..topology.routing import Path, PathProvider, path_links
+from ..topology.routing import Path, PathProvider, path_links_cached
 from ..traffic.flows import FlowSpec
 from .controller import InstallerFactory, SdnController
 from .fairshare import link_utilization, max_min_fair_rates
+from .flowstate import FlowStore
 from .metrics import MetricsCollector
 from .sdnapp import ProactiveTeApp, TeAppConfig
 
@@ -63,6 +64,17 @@ class SimulationConfig:
             whenever every dispatched event recomputes rates (pure
             arrival/completion workloads); interleaved non-recomputing
             events (TE epochs) can move completions by float-rounding ulps.
+        flow_state: the per-flow data model.  ``"objects"`` (the default)
+            keeps one :class:`_ActiveFlow` per flow — the parity
+            reference.  ``"columnar"`` re-seats the run on a
+            :class:`~repro.simulator.flowstate.FlowStore` (numpy columns
+            + link×flow incidence arrays): the ``_advance_to`` drain, the
+            ETA scan, rate recomputes, and the TE epoch's per-flow dicts
+            all become array operations, and same-instant arrival bursts
+            batch their rate recomputes.  The two backends agree exactly
+            on pure arrival/completion workloads and within float-
+            rounding ulps under TE (the ``completion_mode`` discipline;
+            see ``docs/architecture.md``).
     """
 
     control_rtt: float = 0.25e-3
@@ -78,6 +90,7 @@ class SimulationConfig:
     fault_plan: Optional[FaultPlan] = None
     fault_seed: int = 0
     completion_mode: str = "scan"
+    flow_state: str = "objects"
 
     def __post_init__(self) -> None:
         if self.completion_mode not in ("scan", "event"):
@@ -85,6 +98,12 @@ class SimulationConfig:
                 "completion_mode must be 'scan' (legacy per-iteration ETA "
                 "scan) or 'event' (kernel-scheduled completions): "
                 f"{self.completion_mode!r}"
+            )
+        if self.flow_state not in ("objects", "columnar"):
+            raise ValueError(
+                "flow_state must be 'objects' (per-flow _ActiveFlow, the "
+                "parity reference) or 'columnar' (array-backed FlowStore): "
+                f"{self.flow_state!r}"
             )
         if self.channel not in ("naive", "resilient"):
             raise ValueError(
@@ -175,6 +194,11 @@ class Simulation:
         self._arrivals = sorted(flows, key=lambda flow: flow.start_time)
         self._arrival_index = 0
         self._active: Dict[int, _ActiveFlow] = {}
+        self._store: Optional[FlowStore] = (
+            FlowStore(self._capacities)
+            if self.config.flow_state == "columnar"
+            else None
+        )
         self._rate_epoch = 0
         self._failed_links: set = set()
         self.blackhole_time = 0.0  # flow-seconds spent on failed paths
@@ -213,12 +237,27 @@ class Simulation:
             return self._arrivals[self._arrival_index].start_time
         return math.inf
 
+    def _n_active(self) -> int:
+        """Number of active flows, whichever backend holds them."""
+        if self._store is not None:
+            return len(self._store)
+        return len(self._active)
+
+    def _flow_active(self, flow_id: int) -> bool:
+        """True while ``flow_id`` is an active flow."""
+        if self._store is not None:
+            return flow_id in self._store
+        return flow_id in self._active
+
     def _next_completion(self) -> Tuple[float, Optional[int]]:
         """Earliest-finishing active flow by per-iteration ETA scan.
 
         Ties resolve to the first-inserted flow (strict ``<``) — the
-        tie-break the event mode reproduces through scheduling order.
+        tie-break the event mode reproduces through scheduling order and
+        the columnar backend through argmin over admission-ordered rows.
         """
+        if self._store is not None:
+            return self._store.next_completion(self.now)
         best_time, best_flow = math.inf, None
         for flow_id, state in self._active.items():
             if state.rate <= 0:
@@ -250,21 +289,55 @@ class Simulation:
         """Drain bytes at current rates up to ``time``."""
         elapsed = time - self.now
         if elapsed > 0:
-            for state in self._active.values():
-                state.remaining_bytes -= state.rate * elapsed / 8.0
-                if state.remaining_bytes < 0:
-                    state.remaining_bytes = 0.0
+            if self._store is not None:
+                self._store.advance(elapsed)
+            else:
+                for state in self._active.values():
+                    state.remaining_bytes -= state.rate * elapsed / 8.0
+                    if state.remaining_bytes < 0:
+                        state.remaining_bytes = 0.0
         self.clock.advance_to(time)
 
     def _recompute_rates(self) -> None:
-        paths = {
-            flow_id: path_links(state.path) for flow_id, state in self._active.items()
-        }
-        rates = max_min_fair_rates(paths, self._capacities)
-        for flow_id, state in self._active.items():
-            state.rate = rates.get(flow_id, 0.0)
+        profiler = self._scheduler.profiler
+        if profiler is not None:
+            profiler.mark("sim.fairshare")
+        if self._store is not None:
+            self._store.recompute()
+        else:
+            paths = {
+                flow_id: path_links_cached(state.path)
+                for flow_id, state in self._active.items()
+            }
+            rates = max_min_fair_rates(paths, self._capacities)
+            for flow_id, state in self._active.items():
+                state.rate = rates.get(flow_id, 0.0)
         if self.config.completion_mode == "event":
             self._schedule_completion()
+
+    def _recompute_after_admission(self, spec: FlowSpec) -> None:
+        """Recompute rates after admitting ``spec``, batching same-instant
+        arrival bursts on the columnar backend.
+
+        When the *next* arrival shares this exact instant and no kernel
+        event can fire in between, the next dispatch is provably that
+        arrival — whose own recompute covers this one, so skipping here
+        is unobservable (rates are only read at dispatches).  The one
+        exception is a zero-size flow, which must complete before the
+        next same-instant arrival and therefore keeps the eager
+        recompute.  This turns an N-flow burst from N progressive
+        fillings into one.
+        """
+        if (
+            self._store is not None
+            and spec.size > 0
+            and self._arrival_index < len(self._arrivals)
+            # det: allow(float-eq) -- batching exact same-instant arrivals
+            and self._arrivals[self._arrival_index].start_time == self.now
+            and self._scheduler.next_time() > self.now
+        ):
+            return
+        self._recompute_rates()
 
     # ------------------------------------------------------------------
     # Main loop
@@ -318,7 +391,7 @@ class Simulation:
             else:
                 event = self._scheduler.pop()
                 self._dispatch(event.kind, event.payload)
-            if not self._active and self._arrival_index >= len(self._arrivals):
+            if not self._n_active() and self._arrival_index >= len(self._arrivals):
                 if not self._scheduler.pending(("activate", "start")):
                     break
 
@@ -326,7 +399,7 @@ class Simulation:
         """True when a scheduled completion is current-epoch and the flow
         is still active (stale ones are discarded, never dispatched)."""
         flow_id, epoch = event.payload
-        return epoch == self._rate_epoch and flow_id in self._active
+        return epoch == self._rate_epoch and self._flow_active(flow_id)
 
     def _loop_event(self) -> None:
         """Kernel loop: completions are scheduled events, not scans.
@@ -379,7 +452,7 @@ class Simulation:
                     self._complete_flow(event.payload[0])
                 else:
                     self._dispatch(event.kind, event.payload)
-            if not self._active and self._arrival_index >= len(self._arrivals):
+            if not self._n_active() and self._arrival_index >= len(self._arrivals):
                 if not self._scheduler.pending(("activate", "start")):
                     break
 
@@ -405,7 +478,9 @@ class Simulation:
             healthy = [
                 path
                 for path in ecmp
-                if not any(link in self._failed_links for link in path_links(path))
+                if not any(
+                    link in self._failed_links for link in path_links_cached(path)
+                )
             ]
             if healthy:
                 ecmp = healthy
@@ -432,89 +507,136 @@ class Simulation:
                 max(outcome.ready_time, self.now), "start", (spec, path)
             )
             return
-        self._active[spec.flow_id] = _ActiveFlow(
-            spec=spec, remaining_bytes=spec.size, path=path
-        )
-        self._recompute_rates()
+        if self._store is not None:
+            self._store.add(spec, path)
+        else:
+            self._active[spec.flow_id] = _ActiveFlow(
+                spec=spec, remaining_bytes=spec.size, path=path
+            )
+        self.metrics.record_active_peak(self._n_active())
+        self._recompute_after_admission(spec)
 
     def _start_reactive_flow(self, payload) -> None:
         spec, path = payload
-        self._active[spec.flow_id] = _ActiveFlow(
-            spec=spec,
-            remaining_bytes=spec.size,
-            path=path,
-            has_installed_rules=True,
-        )
+        if self._store is not None:
+            self._store.add(spec, path, has_installed_rules=True)
+        else:
+            self._active[spec.flow_id] = _ActiveFlow(
+                spec=spec,
+                remaining_bytes=spec.size,
+                path=path,
+                has_installed_rules=True,
+            )
+        self.metrics.record_active_peak(self._n_active())
         self._recompute_rates()
 
     def _complete_flow(self, flow_id: int) -> None:
-        state = self._active.pop(flow_id)
+        if self._store is not None:
+            spec = self._store.spec(flow_id)
+            path = self._store.path(flow_id)
+            had_rules = self._store.has_installed_rules(flow_id)
+            self._store.remove(flow_id)
+        else:
+            state = self._active.pop(flow_id)
+            spec, path, had_rules = state.spec, state.path, state.has_installed_rules
         self.metrics.flow_finished(flow_id, self.now)
-        if state.has_installed_rules:
-            self.controller.remove_flow_rules(state.spec, state.path, self.now)
+        if had_rules:
+            self.controller.remove_flow_rules(spec, path, self.now)
         self._recompute_rates()
 
     def _run_te_epoch(self) -> None:
-        if self._active:
-            paths = {flow_id: state.path for flow_id, state in self._active.items()}
-            rates = {flow_id: state.rate for flow_id, state in self._active.items()}
-            flows = {flow_id: state.spec for flow_id, state in self._active.items()}
-            link_paths = {
-                flow_id: path_links(path) for flow_id, path in paths.items()
-            }
-            utilization = link_utilization(link_paths, rates, self._capacities)
-            eligible_paths = {
-                flow_id: path
-                for flow_id, path in paths.items()
-                if not self._active[flow_id].pending_activation
-            }
+        if self._n_active():
+            if self._store is not None:
+                flows, paths, eligible_paths, rates = self._store.te_views()
+                utilization = self._store.utilization()
+            else:
+                paths = {
+                    flow_id: state.path for flow_id, state in self._active.items()
+                }
+                rates = {
+                    flow_id: state.rate for flow_id, state in self._active.items()
+                }
+                flows = {
+                    flow_id: state.spec for flow_id, state in self._active.items()
+                }
+                link_paths = {
+                    flow_id: path_links_cached(path)
+                    for flow_id, path in paths.items()
+                }
+                utilization = link_utilization(
+                    link_paths, rates, self._capacities
+                )
+                eligible_paths = {
+                    flow_id: path
+                    for flow_id, path in paths.items()
+                    if not self._active[flow_id].pending_activation
+                }
             moves = [
                 move
                 for move in self.app.plan(
                     flows, eligible_paths, rates, utilization, self._capacities,
                     now=self.now,
                 )
-                if move.flow_id in self._active
+                if self._flow_active(move.flow_id)
                 and not any(
-                    link in self._failed_links for link in path_links(move.new_path)
+                    link in self._failed_links
+                    for link in path_links_cached(move.new_path)
                 )
             ]
             assignments = [
-                (self._active[move.flow_id].spec, move.new_path) for move in moves
+                (flows[move.flow_id], move.new_path) for move in moves
             ]
             # One reconfiguration round = one per-switch FlowMod batch —
             # the granularity at which ESPRES/Tango reorder and rewrite.
             outcomes = self.controller.install_paths(assignments, self.now)
             for move, outcome in zip(moves, outcomes):
                 self._record_outcome(outcome)
-                self._active[move.flow_id].pending_activation = True
+                if self._store is not None:
+                    self._store.set_pending_activation(move.flow_id, True)
+                else:
+                    self._active[move.flow_id].pending_activation = True
                 # det: allow(ambiguous-tier) -- per-move activations are independent; seq order pinned by parity digests
                 self._schedule(
                     max(outcome.ready_time, self.now),
                     "activate",
                     (move.flow_id, move.new_path),
                 )
-        if self._arrival_index < len(self._arrivals) or self._active:
+        if self._arrival_index < len(self._arrivals) or self._n_active():
             self._schedule(self.now + self.config.te.epoch, "epoch")
 
     def _activate_path(self, payload) -> None:
         flow_id, new_path = payload
-        state = self._active.get(flow_id)
-        if state is None:
+        if not self._flow_active(flow_id):
             return  # completed while the rules were being installed
-        old_path = state.path
-        had_rules = state.has_installed_rules
-        state.path = new_path
-        state.pending_activation = False
-        state.has_installed_rules = True
-        if state.blackholed_since is not None:
-            # The flow was stranded on a failed path until this activation:
-            # the whole window is control-plane-induced blackhole time.
-            self.blackhole_time += self.now - state.blackholed_since
-            state.blackholed_since = None
+        if self._store is not None:
+            store = self._store
+            old_path = store.path(flow_id)
+            had_rules = store.has_installed_rules(flow_id)
+            spec = store.spec(flow_id)
+            store.set_path(flow_id, new_path)
+            store.set_pending_activation(flow_id, False)
+            store.set_has_installed_rules(flow_id, True)
+            blackholed_since = store.blackhole_start(flow_id)
+            if blackholed_since is not None:
+                self.blackhole_time += self.now - blackholed_since
+                store.set_blackhole_start(flow_id, None)
+        else:
+            state = self._active[flow_id]
+            old_path = state.path
+            had_rules = state.has_installed_rules
+            spec = state.spec
+            state.path = new_path
+            state.pending_activation = False
+            state.has_installed_rules = True
+            if state.blackholed_since is not None:
+                # The flow was stranded on a failed path until this
+                # activation: the whole window is control-plane-induced
+                # blackhole time.
+                self.blackhole_time += self.now - state.blackholed_since
+                state.blackholed_since = None
         self.metrics.flow_rerouted(flow_id)
         if had_rules:
-            self.controller.remove_flow_rules(state.spec, old_path, self.now)
+            self.controller.remove_flow_rules(spec, old_path, self.now)
         self._recompute_rates()
 
     # ------------------------------------------------------------------
@@ -522,7 +644,10 @@ class Simulation:
     # ------------------------------------------------------------------
     def _first_healthy_path(self, spec: FlowSpec) -> Optional[Path]:
         for candidate in self.provider.paths(spec.source, spec.destination):
-            if not any(link in self._failed_links for link in path_links(candidate)):
+            if not any(
+                link in self._failed_links
+                for link in path_links_cached(candidate)
+            ):
                 return candidate
         return None
 
@@ -536,13 +661,26 @@ class Simulation:
         self._failed_links.add(link)
         self._capacities[link] = 0.0
         repairs = []
-        for flow_id, state in self._active.items():
-            if link not in path_links(state.path):
-                continue
-            state.blackholed_since = self.now
-            healthy = self._first_healthy_path(state.spec)
-            if healthy is not None and healthy != state.path:
-                repairs.append((flow_id, healthy))
+        if self._store is not None:
+            self._store.fail_link(link)
+            specs = {}
+            for flow_id in self._store.flows_on_link(link):
+                self._store.set_blackhole_start(flow_id, self.now)
+                spec = self._store.spec(flow_id)
+                specs[flow_id] = spec
+                healthy = self._first_healthy_path(spec)
+                if healthy is not None and healthy != self._store.path(flow_id):
+                    repairs.append((flow_id, healthy))
+        else:
+            specs = {}
+            for flow_id, state in self._active.items():
+                if link not in path_links_cached(state.path):
+                    continue
+                state.blackholed_since = self.now
+                specs[flow_id] = state.spec
+                healthy = self._first_healthy_path(state.spec)
+                if healthy is not None and healthy != state.path:
+                    repairs.append((flow_id, healthy))
         tracer = get_tracer()
         if tracer.enabled:
             tracer.event(
@@ -550,12 +688,15 @@ class Simulation:
                 link=f"{link[0]}-{link[1]}", repairs=len(repairs),
             )
         assignments = [
-            (self._active[flow_id].spec, path) for flow_id, path in repairs
+            (specs[flow_id], path) for flow_id, path in repairs
         ]
         outcomes = self.controller.install_paths(assignments, self.now)
         for (flow_id, path), outcome in zip(repairs, outcomes):
             self._record_outcome(outcome)
-            self._active[flow_id].pending_activation = True
+            if self._store is not None:
+                self._store.set_pending_activation(flow_id, True)
+            else:
+                self._active[flow_id].pending_activation = True
             # det: allow(ambiguous-tier) -- repair activations are independent; seq order pinned by parity digests
             self._schedule(
                 max(outcome.ready_time, self.now), "activate", (flow_id, path)

@@ -9,6 +9,7 @@ the k=16 fat tree.
 from __future__ import annotations
 
 import itertools
+from functools import lru_cache
 from typing import Dict, List, Tuple
 
 import networkx as nx
@@ -59,9 +60,23 @@ class PathProvider:
         return [path for path in candidates if len(path) == best_length]
 
 
+@lru_cache(maxsize=None)
+def path_links_cached(path: Path) -> Tuple[Tuple[str, str], ...]:
+    """The (canonically ordered) links a path traverses, memoized.
+
+    Paths are immutable tuples and the set of distinct paths is bounded
+    by the topology (the :class:`PathProvider` cache), so the memo is
+    small — but the links were being recomputed per flow on every rate
+    recompute, TE epoch, and link failure, which the wall-clock profiler
+    attributes squarely to the ``fairshare`` subsystem.  Hot paths call
+    this directly; :func:`path_links` stays the list-returning wrapper.
+    """
+    return tuple(tuple(sorted((a, b))) for a, b in zip(path, path[1:]))
+
+
 def path_links(path: Path) -> List[Tuple[str, str]]:
     """The (canonically ordered) links a path traverses."""
-    return [tuple(sorted((a, b))) for a, b in zip(path, path[1:])]
+    return list(path_links_cached(path))
 
 
 def path_switches(path: Path, graph: nx.Graph) -> List[str]:

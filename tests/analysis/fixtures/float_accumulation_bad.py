@@ -1,0 +1,45 @@
+"""Set-iteration hazards inside float-accumulation paths.
+
+Every function here must trip the determinism lint's
+``unordered-iteration`` rule via the set-*inference* extensions — local
+names bound to set expressions and subscripts of ``Dict[..., Set[...]]``
+annotated names.  This is the exact shape of the ``max_min_fair_rates``
+float-ordering hazard: a hash-ordered set iteration driving ``-=``
+accumulation, so two ``PYTHONHASHSEED`` values can disagree in the last
+ulp.  The module is linted as text by the test suite and CI's must-fail
+loop; it is never imported.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+Link = Tuple[str, str]
+
+
+def frozen_flows_in_hash_order(
+    flows_on_link: Dict[Link, Set[str]], bottleneck: Link
+) -> List[str]:
+    """``list()`` over a ``Dict[..., Set[...]]`` subscript is hash order."""
+    return list(flows_on_link[bottleneck])
+
+
+def subtraction_order_follows_hash(
+    remaining: Dict[Link, float],
+    flows_on_link: Dict[Link, Set[str]],
+    links_of: Dict[str, List[Link]],
+    bottleneck: Link,
+    share: float,
+) -> None:
+    """Float accumulation driven by a name inferred to hold a set."""
+    frozen = flows_on_link[bottleneck]
+    for flow_id in frozen:
+        for link in links_of[flow_id]:
+            remaining[link] -= share
+
+
+def local_setcomp_accumulation(values: Dict[str, float]) -> float:
+    """A local set-comprehension binding iterated into a float sum."""
+    chosen = {key for key in values if values[key] > 0.0}
+    total = 0.0
+    for key in chosen:
+        total += values[key]
+    return total

@@ -150,6 +150,86 @@ class TestUnorderedIteration:
         assert check("total = max({1, 2}) + len({3, 4})\n") == []
 
 
+class TestSetInference:
+    """Local set variables and Dict[..., Set[...]] subscripts feed the
+    unordered-iteration sinks (the max_min_fair_rates hazard shape)."""
+
+    FLOAT_FIXTURE = os.path.join(HERE, "fixtures", "float_accumulation_bad.py")
+
+    def test_local_set_variable_flagged(self):
+        findings = check("chosen = {1, 2}\nfor item in chosen:\n    pass\n")
+        assert rules_of(findings) == [UNORDERED_ITERATION]
+
+    def test_setcomp_binding_flagged(self):
+        code = "picked = {x for x in items}\ntotal = list(picked)\n"
+        assert rules_of(check(code)) == [UNORDERED_ITERATION]
+
+    def test_rebinding_to_list_clears_inference(self):
+        code = (
+            "chosen = {1, 2}\n"
+            "chosen = sorted(chosen)\n"
+            "for item in chosen:\n"
+            "    pass\n"
+        )
+        assert check(code) == []
+
+    def test_annotated_set_argument_flagged(self):
+        code = (
+            "def drain(flows: set) -> None:\n"
+            "    for flow in flows:\n"
+            "        pass\n"
+        )
+        assert rules_of(check(code)) == [UNORDERED_ITERATION]
+
+    def test_dict_of_sets_subscript_flagged(self):
+        code = (
+            "from typing import Dict, Set\n"
+            "def freeze(flows_on_link: Dict[str, Set[int]], link: str):\n"
+            "    return list(flows_on_link[link])\n"
+        )
+        assert rules_of(check(code)) == [UNORDERED_ITERATION]
+
+    def test_dict_of_sets_alias_binding_flagged(self):
+        code = (
+            "from typing import Dict, Set\n"
+            "def freeze(flows_on_link: Dict[str, Set[int]], link: str):\n"
+            "    frozen = flows_on_link[link]\n"
+            "    for flow in frozen:\n"
+            "        pass\n"
+        )
+        assert rules_of(check(code)) == [UNORDERED_ITERATION]
+
+    def test_sorted_subscript_is_clean(self):
+        code = (
+            "from typing import Dict, Set\n"
+            "def freeze(flows_on_link: Dict[str, Set[int]], link: str):\n"
+            "    return sorted(flows_on_link[link])\n"
+        )
+        assert check(code) == []
+
+    def test_inference_scoped_to_function(self):
+        code = (
+            "def inner(flows: set) -> None:\n"
+            "    pass\n"
+            "def outer(flows: list) -> None:\n"
+            "    for flow in flows:\n"
+            "        pass\n"
+        )
+        assert check(code) == []
+
+    def test_dict_of_plain_values_is_clean(self):
+        code = (
+            "from typing import Dict, List\n"
+            "def read(paths: Dict[str, List[int]], key: str):\n"
+            "    return list(paths[key])\n"
+        )
+        assert check(code) == []
+
+    def test_float_accumulation_fixture_trips_only_this_rule(self):
+        findings = lint_file(self.FLOAT_FIXTURE)
+        assert rules_of(findings) == [UNORDERED_ITERATION] * 3
+
+
 class TestFloatEq:
     def test_timestamp_equality_flagged(self):
         findings = check("if now == deadline:\n    pass\n")

@@ -1,0 +1,409 @@
+"""Tests for the columnar flow-state engine.
+
+Three layers of evidence that ``flow_state="columnar"`` is safe:
+
+* a hypothesis differential suite pinning the vectorized fair share
+  *bit-identical* (``==``, no tolerance) to the dict backend on random
+  topologies and workloads;
+* FlowStore unit tests for the row lifecycle (stable compaction, path
+  churn, flags, link failure);
+* whole-simulation differentials: the columnar backend must reproduce
+  the object backend's metrics exactly on arrival/completion workloads,
+  under TE, under link failures, in both completion modes, and across
+  same-instant arrival bursts (the batched-recompute fast path);
+* a cross-process digest check that ``flow_state="objects"`` still
+  matches the seed parity digests pinned in ``tests/engine/test_parity``.
+"""
+
+import json
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    FlowStore,
+    Simulation,
+    UNCONSTRAINED_RATE,
+    columnar_max_min_fair_rates,
+    max_min_fair_rates,
+)
+from repro.simulator.flowstate import FlowColumnView
+from repro.traffic.flows import FlowSpec
+
+from tests.engine.test_parity import (
+    CHAOS_RESULT_DIGEST,
+    CHAOS_TRACE_DIGEST,
+    _SCENARIO_SCRIPT,
+    _run_script,
+)
+
+LINKS = [
+    ("a", "b"),
+    ("b", "c"),
+    ("c", "d"),
+    ("a", "d"),
+    ("b", "d"),
+    ("a", "c"),
+]
+
+
+def spec(flow_id, size=1e6, start=0.0, src="h0", dst="h1"):
+    return FlowSpec(
+        source=src, destination=dst, size=size, start_time=start,
+        flow_id=flow_id,
+    )
+
+
+class TestColumnarFairShareDifferential:
+    """The vectorized filling is bit-identical to the dict backend."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        flow_paths=st.dictionaries(
+            st.integers(min_value=0, max_value=40),
+            st.lists(st.sampled_from(LINKS), max_size=4, unique=True),
+            max_size=25,
+        ),
+        capacities=st.fixed_dictionaries(
+            {
+                link: st.floats(
+                    min_value=1e-3, max_value=1e12, allow_nan=False
+                )
+                for link in LINKS
+            }
+        ),
+    )
+    def test_bit_identical_on_random_workloads(self, flow_paths, capacities):
+        reference = max_min_fair_rates(flow_paths, capacities)
+        columnar = columnar_max_min_fair_rates(flow_paths, capacities)
+        assert columnar == reference  # exact float equality, no tolerance
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        flow_ids=st.lists(
+            st.text(min_size=1, max_size=6), min_size=1, max_size=12,
+            unique=True,
+        )
+    )
+    def test_string_flow_ids_bit_identical(self, flow_ids):
+        flow_paths = {
+            flow_id: [LINKS[index % len(LINKS)]]
+            for index, flow_id in enumerate(flow_ids)
+        }
+        capacities = {link: 7.5e8 for link in LINKS}
+        assert columnar_max_min_fair_rates(
+            flow_paths, capacities
+        ) == max_min_fair_rates(flow_paths, capacities)
+
+    def test_zero_capacity_bottleneck(self):
+        flow_paths = {1: [LINKS[0], LINKS[1]], 2: [LINKS[1]]}
+        capacities = {LINKS[0]: 0.0, LINKS[1]: 10.0}
+        reference = max_min_fair_rates(flow_paths, capacities)
+        assert columnar_max_min_fair_rates(flow_paths, capacities) == reference
+        assert reference[1] == 0.0
+
+    def test_empty_paths_get_sentinel_rate(self):
+        rates = columnar_max_min_fair_rates({1: [], 2: [LINKS[0]]}, {LINKS[0]: 4.0})
+        assert rates[1] == UNCONSTRAINED_RATE
+        assert rates[2] == 4.0
+
+    def test_unknown_link_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            columnar_max_min_fair_rates({1: [("x", "y")]}, {LINKS[0]: 1.0})
+
+    def test_no_flows(self):
+        assert columnar_max_min_fair_rates({}, {LINKS[0]: 1.0}) == {}
+
+    def test_duplicate_link_paths_fall_back_to_reference(self):
+        flow_paths = {1: [LINKS[0], LINKS[0]], 2: [LINKS[0]]}
+        capacities = {LINKS[0]: 9.0}
+        assert columnar_max_min_fair_rates(
+            flow_paths, capacities
+        ) == max_min_fair_rates(flow_paths, capacities)
+
+
+class TestFlowStore:
+    CAPS = {("a", "b"): 8.0, ("b", "c"): 4.0, ("c", "d"): 16.0}
+
+    def make(self, capacity=16):
+        return FlowStore(self.CAPS, capacity=capacity)
+
+    def test_add_remove_membership(self):
+        store = self.make()
+        store.add(spec(7, size=100.0), ("a", "b"))
+        assert 7 in store and len(store) == 1
+        store.remove(7)
+        assert 7 not in store and len(store) == 0
+        with pytest.raises(KeyError):
+            store.row(7)
+
+    def test_duplicate_add_rejected(self):
+        store = self.make()
+        store.add(spec(1), ("a", "b"))
+        with pytest.raises(ValueError):
+            store.add(spec(1), ("a", "b"))
+
+    def test_unknown_link_rejected(self):
+        store = self.make()
+        with pytest.raises(KeyError):
+            store.add(spec(1), ("a", "z"))
+
+    def test_recompute_matches_reference(self):
+        store = self.make()
+        store.add(spec(1), ("a", "b", "c"))
+        store.add(spec(2), ("a", "b"))
+        store.add(spec(3), ("b", "c"))
+        store.recompute()
+        reference = max_min_fair_rates(
+            {1: [("a", "b"), ("b", "c")], 2: [("a", "b")], 3: [("b", "c")]},
+            self.CAPS,
+        )
+        for flow_id in (1, 2, 3):
+            assert store.rate[store.row(flow_id)] == reference[flow_id]
+
+    def test_empty_path_row_gets_sentinel_rate(self):
+        store = self.make()
+        store.add(spec(1), ("a",))
+        store.recompute()
+        assert store.rate[store.row(1)] == UNCONSTRAINED_RATE
+
+    def test_compaction_is_stable(self):
+        store = self.make(capacity=16)
+        for flow_id in range(200):
+            store.add(spec(flow_id, size=10.0 * (flow_id + 1)), ("a", "b"))
+            if flow_id % 2:
+                store.remove(flow_id)
+        survivors = store.flow_ids()
+        assert survivors == sorted(survivors)  # admission order kept
+        # Columns still line up with their flows after compactions.
+        for flow_id in survivors:
+            assert store.remaining[store.row(flow_id)] == 10.0 * (flow_id + 1)
+            assert store.path(flow_id) == ("a", "b")
+
+    def test_explicit_compact_preserves_state(self):
+        store = self.make()
+        store.add(spec(1, size=5.0), ("a", "b", "c"))
+        store.add(spec(2, size=6.0), ("b", "c"))
+        store.add(spec(3, size=7.0), ("c", "d"))
+        store.remove(2)
+        store.set_has_installed_rules(1, True)
+        store.set_blackhole_start(3, 1.25)
+        store.compact()
+        assert store.flow_ids() == [1, 3]
+        assert store.has_installed_rules(1) is True
+        assert store.has_installed_rules(3) is False
+        assert store.blackhole_start(3) == 1.25
+        assert store.path(1) == ("a", "b", "c")
+        store.recompute()
+        reference = max_min_fair_rates(
+            {1: [("a", "b"), ("b", "c")], 3: [("c", "d")]}, self.CAPS
+        )
+        assert store.rate[store.row(1)] == reference[1]
+        assert store.rate[store.row(3)] == reference[3]
+
+    def test_set_path_shrink_and_grow(self):
+        store = self.make()
+        store.add(spec(1), ("a", "b", "c", "d"))
+        store.set_path(1, ("a", "b"))  # shrinks in place
+        assert store.path(1) == ("a", "b")
+        assert store.flows_on_link(("b", "c")) == []
+        store.set_path(1, ("b", "c", "d"))  # grows: fresh segment
+        assert store.path(1) == ("b", "c", "d")
+        assert store.flows_on_link(("b", "c")) == [1]
+        assert store.flows_on_link(("a", "b")) == []
+
+    def test_flows_on_link_admission_order(self):
+        store = self.make()
+        store.add(spec(5), ("a", "b"))
+        store.add(spec(2), ("a", "b", "c"))
+        store.add(spec(9), ("b", "c"))
+        assert store.flows_on_link(("a", "b")) == [5, 2]
+        assert store.flows_on_link(("b", "c")) == [2, 9]
+        assert store.flows_on_link(("x", "y")) == []
+
+    def test_advance_and_next_completion(self):
+        store = self.make()
+        store.add(spec(1, size=8.0), ("a", "b"))
+        store.add(spec(2, size=16.0), ("a", "b"))
+        store.recompute()  # 4.0 each
+        eta, flow_id = store.next_completion(0.0)
+        assert (eta, flow_id) == (16.0, 1)
+        store.advance(16.0)
+        assert store.remaining[store.row(1)] == 0.0
+        assert store.remaining[store.row(2)] == 8.0
+
+    def test_next_completion_tie_breaks_to_earliest_admitted(self):
+        store = self.make()
+        store.add(spec(10, size=8.0), ("a", "b"))
+        store.add(spec(11, size=8.0), ("a", "b"))
+        store.recompute()
+        _eta, flow_id = store.next_completion(0.0)
+        assert flow_id == 10
+
+    def test_no_completion_without_rates(self):
+        store = self.make()
+        assert store.next_completion(0.0) == (math.inf, None)
+        store.add(spec(1), ("a", "b"))
+        assert store.next_completion(0.0) == (math.inf, None)
+
+    def test_fail_link_zeroes_rates(self):
+        store = self.make()
+        store.add(spec(1), ("a", "b"))
+        store.fail_link(("a", "b"))
+        store.recompute()
+        assert store.rate[store.row(1)] == 0.0
+
+    def test_utilization_matches_reference(self):
+        from repro.simulator import link_utilization
+
+        store = self.make()
+        store.add(spec(1), ("a", "b", "c"))
+        store.add(spec(2), ("b", "c"))
+        store.recompute()
+        rows = {flow_id: store.row(flow_id) for flow_id in (1, 2)}
+        reference = link_utilization(
+            {1: [("a", "b"), ("b", "c")], 2: [("b", "c")]},
+            {flow_id: float(store.rate[row]) for flow_id, row in rows.items()},
+            self.CAPS,
+        )
+        assert store.utilization() == reference
+
+    def test_te_views_are_admission_ordered_mappings(self):
+        store = self.make()
+        store.add(spec(3, size=5.0), ("a", "b"))
+        store.add(spec(1, size=6.0), ("b", "c"))
+        store.set_pending_activation(1, True)
+        flows, paths, eligible, rates = store.te_views()
+        assert isinstance(flows, FlowColumnView)
+        assert list(paths) == [3, 1]
+        assert paths[3] == ("a", "b")
+        assert list(eligible) == [3] and len(eligible) == 1
+        with pytest.raises(KeyError):
+            eligible[1]
+        assert rates.get(99, 0.0) == 0.0
+        assert flows[1].size == 6.0
+
+
+def _fat_tree_workload(burst=False, seed=5, flows_count=120):
+    from repro.topology import FatTreeSpec, build_fat_tree, hosts
+
+    graph = build_fat_tree(FatTreeSpec(k=4, link_capacity=1e9))
+    hosts_ = hosts(graph)
+    rng = np.random.default_rng(seed)
+    flows = []
+    for index in range(flows_count):
+        start = (
+            0.05 * (index // 30) if burst else float(rng.uniform(0.0, 1.5))
+        )
+        src, dst = rng.choice(len(hosts_), size=2, replace=False)
+        flows.append(
+            FlowSpec(
+                source=hosts_[src],
+                destination=hosts_[dst],
+                size=float(rng.integers(int(1e5), int(5e6))),
+                start_time=start,
+            )
+        )
+    return graph, flows
+
+
+def _run_backend(graph, flows, flow_state, **overrides):
+    from repro.experiments.common import (
+        QUICK_SCALE,
+        installer_factory,
+        te_simulation_config,
+    )
+
+    config = replace(
+        te_simulation_config(QUICK_SCALE), flow_state=flow_state, **overrides
+    )
+    simulation = Simulation(
+        graph,
+        flows,
+        installer_factory("tango", "pica8-p3290", seed=100),
+        config,
+    )
+    metrics = simulation.run()
+    records = sorted(
+        (
+            record.spec.flow_id,
+            record.start_time,
+            -1.0 if record.finish_time is None else record.finish_time,
+            record.reroutes,
+        )
+        for record in metrics.flow_records()
+    )
+    return records, sorted(metrics.rits()), simulation.blackhole_time
+
+
+class TestSimulationDifferential:
+    """Columnar runs must reproduce object runs on whole simulations."""
+
+    def test_arrival_completion_workload_exact(self):
+        # A TE epoch far past max_time: pure arrival/completion dynamics.
+        from repro.experiments.common import QUICK_SCALE, te_simulation_config
+
+        graph, flows = _fat_tree_workload()
+        base = te_simulation_config(QUICK_SCALE)
+        quiet = {"te": replace(base.te, epoch=1e9)}
+        assert _run_backend(graph, flows, "objects", **quiet) == _run_backend(
+            graph, flows, "columnar", **quiet
+        )
+
+    def test_te_workload_exact(self):
+        graph, flows = _fat_tree_workload()
+        assert _run_backend(graph, flows, "objects") == _run_backend(
+            graph, flows, "columnar"
+        )
+
+    def test_event_mode_exact(self):
+        graph, flows = _fat_tree_workload()
+        assert _run_backend(
+            graph, flows, "objects", completion_mode="event"
+        ) == _run_backend(graph, flows, "columnar", completion_mode="event")
+
+    def test_link_failure_exact(self):
+        graph, flows = _fat_tree_workload()
+        failures = ((0.4, ("agg0", "core0")),)
+        assert _run_backend(
+            graph, flows, "objects", link_failures=failures
+        ) == _run_backend(graph, flows, "columnar", link_failures=failures)
+
+    def test_same_instant_bursts_exact(self):
+        # Bursts exercise the columnar backend's batched same-instant
+        # recompute (the deferral fast path) in both completion modes.
+        graph, flows = _fat_tree_workload(burst=True)
+        for mode in ("scan", "event"):
+            assert _run_backend(
+                graph, flows, "objects", completion_mode=mode
+            ) == _run_backend(graph, flows, "columnar", completion_mode=mode)
+
+    def test_invalid_flow_state_rejected(self):
+        from repro.simulator import SimulationConfig
+
+        with pytest.raises(ValueError):
+            SimulationConfig(flow_state="rows")
+
+
+class TestObjectsParityDigest:
+    """``flow_state="objects"`` must stay byte-identical to the seed.
+
+    Runs the chaos parity scenario in a fresh interpreter with the flow
+    state forced to ``"objects"`` explicitly (not just defaulted) and
+    checks the pinned seed digests — the refactor discipline's contract
+    that the reference path never moves.
+    """
+
+    SCRIPT = _SCENARIO_SCRIPT.replace(
+        "config = SimulationConfig(",
+        'config = SimulationConfig(\n        flow_state="objects",',
+    )
+
+    def test_chaos_objects_matches_seed_digests(self):
+        digests = json.loads(_run_script(self.SCRIPT, "chaos"))
+        assert digests["result"] == CHAOS_RESULT_DIGEST
+        assert digests["trace"] == CHAOS_TRACE_DIGEST
